@@ -1,0 +1,83 @@
+// Command costmodel prints the paper's analytical cost curves (Figures
+// 1–7) or a detailed per-component breakdown for one algorithm at one
+// selectivity.
+//
+// Usage:
+//
+//	costmodel -figure 3            # print the Figure 3 series
+//	costmodel -alg rep -groups 1e6 # break down one point
+//	costmodel -alg 2p -groups 500 -net ethernet -nodes 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parallelagg"
+)
+
+func main() {
+	var (
+		figure  = flag.Int("figure", 0, "figure number to regenerate (1-7); 0 means single-point mode")
+		algName = flag.String("alg", "a2p", "algorithm for single-point mode: c2p, 2p, rep, samp, a2p, arep")
+		groups  = flag.Float64("groups", 1000, "number of groups for single-point mode")
+		nodes   = flag.Int("nodes", 32, "cluster size for single-point mode")
+		netKind = flag.String("net", "fast", "interconnect: fast or ethernet")
+	)
+	flag.Parse()
+
+	if *figure != 0 {
+		if *figure < 1 || *figure > 7 {
+			fmt.Fprintln(os.Stderr, "costmodel: -figure must be 1..7 (figures 8-9 are simulated; use aggbench)")
+			os.Exit(2)
+		}
+		r := parallelagg.NewExperimentRunner(0, 0)
+		e, err := r.Figure(fmt.Sprintf("fig%d", *figure))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "costmodel: %v\n", err)
+			os.Exit(2)
+		}
+		if err := e.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "costmodel: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	prm := parallelagg.DefaultParams()
+	prm.N = *nodes
+	if *netKind == "ethernet" {
+		prm.Network = parallelagg.SharedBusNet
+	}
+	m := parallelagg.NewCostModel(prm)
+	s := *groups / float64(prm.Tuples)
+	var b parallelagg.CostBreakdown
+	switch strings.ToLower(*algName) {
+	case "c2p":
+		b = m.C2P(s)
+	case "2p":
+		b = m.TwoPhase(s)
+	case "rep":
+		b = m.Rep(s)
+	case "samp":
+		b = m.Samp(s, 10*100*prm.N)
+	case "a2p":
+		b = m.A2P(s)
+	case "arep":
+		b = m.ARep(s, parallelagg.ARepCostConfig{InitSeg: prm.HashEntries / 2, SwitchRatio: 0.1})
+	default:
+		fmt.Fprintf(os.Stderr, "costmodel: unknown algorithm %q\n", *algName)
+		os.Exit(2)
+	}
+	fmt.Printf("algorithm   %s\n", *algName)
+	fmt.Printf("nodes       %d  network %v\n", prm.N, prm.Network)
+	fmt.Printf("groups      %.0f  (selectivity %.3g over %d tuples)\n", *groups, s, prm.Tuples)
+	fmt.Printf("scan I/O    %8.2f s\n", b.ScanIO)
+	fmt.Printf("overflow I/O%8.2f s\n", b.OverflowIO)
+	fmt.Printf("result I/O  %8.2f s\n", b.ResultIO)
+	fmt.Printf("CPU         %8.2f s\n", b.CPU)
+	fmt.Printf("network     %8.2f s\n", b.Net)
+	fmt.Printf("TOTAL       %8.2f s\n", b.Total())
+}

@@ -1,0 +1,107 @@
+// Command livebench measures the REAL parallel aggregation engine on the
+// host machine: wall-clock time and speedup over a sequential fold for
+// each algorithm and worker count. Unlike aggbench (which reports
+// simulated time), these numbers depend on your hardware.
+//
+// Usage:
+//
+//	livebench [-tuples 4000000] [-groups 100000] [-workers 0]
+//	          [-mem 0] [-spill-dir ""] [-runs 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"parallelagg/live"
+)
+
+func main() {
+	var (
+		tuples  = flag.Int64("tuples", 4_000_000, "input cardinality")
+		groups  = flag.Int64("groups", 100_000, "distinct group count")
+		workers = flag.Int("workers", 0, "max workers (0 = GOMAXPROCS)")
+		mem     = flag.Int("mem", 0, "per-worker hash table bound (0 = unbounded)")
+		spill   = flag.String("spill-dir", "", "spool 2P overflow to real files in this directory")
+		runs    = flag.Int("runs", 3, "timed repetitions (best is reported)")
+	)
+	flag.Parse()
+
+	in := make([]live.Tuple, *tuples)
+	for i := range in {
+		k := live.Key(uint64(i*2654435761) % uint64(*groups))
+		in[i] = live.Tuple{Key: k, Val: int64(i % 1000)}
+	}
+
+	best := func(f func() error) (time.Duration, error) {
+		b := time.Duration(1<<63 - 1)
+		for i := 0; i < *runs; i++ {
+			start := time.Now()
+			if err := f(); err != nil {
+				return 0, err
+			}
+			if el := time.Since(start); el < b {
+				b = el
+			}
+		}
+		return b, nil
+	}
+
+	seq, err := best(func() error {
+		ref := make(map[live.Key]live.AggState, *groups)
+		for _, t := range in {
+			if s, ok := ref[t.Key]; ok {
+				s.Update(t.Val)
+				ref[t.Key] = s
+			} else {
+				ref[t.Key] = live.NewState(t.Val)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "livebench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sequential fold: %v for %d tuples, %d groups\n\n", seq.Round(time.Millisecond), *tuples, *groups)
+
+	maxW := *workers
+	if maxW <= 0 {
+		maxW = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("%-8s", "workers")
+	for _, alg := range live.Algorithms() {
+		fmt.Printf("  %-16v", alg)
+	}
+	fmt.Println()
+	for w := 1; w <= maxW; w *= 2 {
+		fmt.Printf("%-8d", w)
+		for _, alg := range live.Algorithms() {
+			cfg := live.Config{
+				Workers:      w,
+				TableEntries: *mem,
+				SpillToDisk:  *spill != "",
+				SpillDir:     *spill,
+			}
+			el, err := best(func() error {
+				res, err := live.Aggregate(cfg, in, alg)
+				if err != nil {
+					return err
+				}
+				if int64(len(res.Groups)) != *groups {
+					return fmt.Errorf("%v produced %d groups, want %d", alg, len(res.Groups), *groups)
+				}
+				return nil
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "\nlivebench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %-8v x%-6.2f", el.Round(time.Millisecond), seq.Seconds()/el.Seconds())
+		}
+		fmt.Println()
+	}
+}

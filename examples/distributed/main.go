@@ -1,0 +1,45 @@
+// Distributed example: the Adaptive Two Phase algorithm over REAL TCP
+// connections, the way the paper ran it on eight PVM workstations. Four
+// nodes start inside this process, each with its own loopback listener;
+// they dial each other, exchange binary frames, and adapt per node under a
+// memory bound — see cmd/distnode to run the same protocol as separate
+// processes on separate machines.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"parallelagg"
+	"parallelagg/internal/dist"
+)
+
+func main() {
+	const nodes = 4
+	rel := parallelagg.OutputSkew(nodes, 400_000, 20_000, 9)
+	fmt.Printf("relation: %d tuples, %d groups, output-skewed across %d TCP nodes\n",
+		rel.Tuples(), rel.Groups, nodes)
+	fmt.Printf("nodes 0-%d hold ONE group each; the rest hold thousands\n\n", nodes/2-1)
+
+	for _, alg := range []dist.Algorithm{dist.TwoPhase, dist.Repartitioning, dist.AdaptiveTwoPhase} {
+		start := time.Now()
+		groups, switched, err := dist.Run(rel.PerNode, alg, 2_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if int64(len(groups)) != rel.Groups {
+			log.Fatalf("%v: got %d groups, want %d", alg, len(groups), rel.Groups)
+		}
+		fmt.Printf("%-5v  %8v wall-clock  %d groups", alg, elapsed.Round(time.Millisecond), len(groups))
+		if switched > 0 {
+			fmt.Printf("  (%d of %d nodes switched strategy)", switched, nodes)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nunder the memory bound only the group-heavy nodes switch —")
+	fmt.Println("the paper's per-node adaptivity, over a real network stack.")
+}

@@ -1,0 +1,44 @@
+// Quickstart: aggregate a uniformly distributed relation with the
+// Adaptive Two Phase algorithm and print a few result groups.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"parallelagg"
+)
+
+func main() {
+	// An 8-node cluster on a 10 Mbit/s Ethernet, as in the paper's
+	// implementation study, but with a smaller relation for a quick run.
+	prm := parallelagg.ImplementationParams()
+	prm.Tuples = 100_000
+
+	// 100K tuples in 500 groups, declustered round-robin.
+	rel := parallelagg.Uniform(prm.N, prm.Tuples, 500, 42)
+
+	res, err := parallelagg.Aggregate(prm, rel, parallelagg.AdaptiveTwoPhase, parallelagg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("aggregated %d tuples into %d groups in %v of simulated time\n",
+		rel.Tuples(), len(res.Groups), res.Elapsed)
+	fmt.Printf("network: %d messages, %d bytes\n\n", res.Net.Messages, res.Net.Bytes)
+
+	// Print the five smallest keys with their full aggregate state.
+	keys := make([]parallelagg.Key, 0, len(res.Groups))
+	for k := range res.Groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	fmt.Println("key   count      sum     min  max      avg")
+	for _, k := range keys[:5] {
+		s := res.Groups[k]
+		fmt.Printf("%3d   %5d  %7d  %6d  %3d  %7.2f\n", k, s.Count, s.Sum, s.Min, s.Max, s.Avg())
+	}
+}

@@ -1,0 +1,58 @@
+// Output-skew example (Section 6 of the paper): half the nodes hold a
+// single group each while the other half hold thousands. The adaptive
+// algorithms let each node pick its own strategy — the single-group nodes
+// keep aggregating locally while the group-heavy nodes switch to
+// repartitioning — and beat BOTH traditional algorithms, something no
+// static choice can do.
+//
+//	go run ./examples/skew
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parallelagg"
+)
+
+func main() {
+	prm := parallelagg.ImplementationParams()
+	prm.Tuples = 100_000
+	prm.HashEntries = 1250 // paper's data:memory ratio at this scale
+
+	rel := parallelagg.OutputSkew(prm.N, prm.Tuples, 4000, 11)
+	fmt.Printf("output-skewed relation: %d tuples, %d groups, %d nodes\n",
+		rel.Tuples(), rel.Groups, prm.N)
+	fmt.Printf("nodes 0-%d hold ONE group each; nodes %d-%d share the rest\n\n",
+		prm.N/2-1, prm.N/2, prm.N-1)
+
+	type row struct {
+		alg      parallelagg.Algorithm
+		elapsed  parallelagg.Duration
+		switched int
+	}
+	var rows []row
+	for _, alg := range parallelagg.Algorithms() {
+		res, err := parallelagg.Aggregate(prm, rel, alg, parallelagg.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{alg, res.Elapsed, res.Switched})
+	}
+
+	fmt.Println("algorithm  time        nodes-switched")
+	best := rows[0]
+	for _, r := range rows {
+		fmt.Printf("%-9v  %-10v  %d\n", r.alg, r.elapsed, r.switched)
+		if r.elapsed < best.elapsed {
+			best = r
+		}
+	}
+	fmt.Printf("\nwinner: %v — ", best.alg)
+	if best.alg == parallelagg.AdaptiveTwoPhase || best.alg == parallelagg.AdaptiveRepartitioning {
+		fmt.Println("per-node adaptivity beats every static strategy under output skew,")
+		fmt.Println("exactly as the paper's Figure 9 reports.")
+	} else {
+		fmt.Println("unexpected; the adaptive algorithms should win this workload.")
+	}
+}

@@ -1,0 +1,76 @@
+// SQL example: the full query shape of Section 2 of the paper — GROUP BY
+// over two columns with multiple aggregates, a WHERE below the aggregation
+// and a HAVING above it — executed on the live parallel engine. The query
+// is a miniature TPC-D Q1.
+//
+//	go run ./examples/sqlquery
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"parallelagg/live"
+	"parallelagg/sqlagg"
+)
+
+func main() {
+	// lineitem(returnflag, linestatus, quantity, extendedprice)
+	tab := &sqlagg.Table{Schema: sqlagg.Schema{Cols: []sqlagg.Column{
+		{Name: "returnflag", Type: sqlagg.String},
+		{Name: "linestatus", Type: sqlagg.String},
+		{Name: "quantity", Type: sqlagg.Int64},
+		{Name: "extendedprice", Type: sqlagg.Int64},
+	}}}
+	rng := rand.New(rand.NewSource(1))
+	flags := []string{"A", "N", "R"}
+	statuses := []string{"F", "O"}
+	const rows = 200_000
+	for i := 0; i < rows; i++ {
+		qty := sqlagg.IntVal(1 + rng.Int63n(50))
+		if rng.Intn(100) == 0 {
+			qty = sqlagg.NullValue // the occasional SQL NULL
+		}
+		tab.Append(sqlagg.Row{
+			sqlagg.StrVal(flags[rng.Intn(3)]),
+			sqlagg.StrVal(statuses[rng.Intn(2)]),
+			qty,
+			sqlagg.IntVal(900 + rng.Int63n(100_000)),
+		})
+	}
+
+	// SELECT returnflag, linestatus, COUNT(*), SUM(quantity),
+	//        AVG(quantity), SUM(extendedprice)
+	// FROM lineitem
+	// WHERE quantity IS NULL OR quantity <= 45
+	// GROUP BY returnflag, linestatus
+	// HAVING COUNT(*) > 1000
+	qtyIdx := tab.Schema.Index("quantity")
+	res, err := sqlagg.Execute(tab, sqlagg.Query{
+		GroupBy: []string{"returnflag", "linestatus"},
+		Aggs: []sqlagg.Agg{
+			{Func: sqlagg.CountStar, As: "count_order"},
+			{Func: sqlagg.Sum, Col: "quantity", As: "sum_qty"},
+			{Func: sqlagg.Avg, Col: "quantity", As: "avg_qty"},
+			{Func: sqlagg.Sum, Col: "extendedprice", As: "sum_price"},
+		},
+		Where: func(r sqlagg.Row) bool {
+			return r[qtyIdx].Null || r[qtyIdx].Int <= 45
+		},
+		Having: func(r sqlagg.Row) bool {
+			return r[2].Int > 1000 // count_order
+		},
+	}, live.Config{}, live.AdaptiveTwoPhase)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("returnflag  linestatus  count_order   sum_qty  avg_qty    sum_price")
+	for _, r := range res.Rows {
+		fmt.Printf("%-10s  %-10s  %11d  %8d  %7d  %11d\n",
+			r[0].Str, r[1].Str, r[2].Int, r[3].Int, r[4].Int, r[5].Int)
+	}
+	fmt.Printf("\n%d groups (of 6) survived HAVING; aggregates computed by the\n", len(res.Rows))
+	fmt.Println("Adaptive Two Phase algorithm across all CPU cores.")
+}

@@ -1,0 +1,3 @@
+module parallelagg
+
+go 1.22

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"testing"
+
+	"parallelagg/internal/des"
+	"parallelagg/internal/params"
+	"parallelagg/internal/tuple"
+	"parallelagg/internal/workload"
+)
+
+func testParams(n int) params.Params {
+	p := params.Default()
+	p.N = n
+	return p
+}
+
+func TestNewWiresNodesAndCoordinator(t *testing.T) {
+	prm := testParams(4)
+	rel := workload.Uniform(4, 400, 10, 1)
+	c, err := New(prm, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	for i, n := range c.Nodes {
+		if n.ID != i {
+			t.Errorf("node %d has ID %d", i, n.ID)
+		}
+		if n.Rel.Len() != len(rel.PerNode[i]) {
+			t.Errorf("node %d holds %d tuples, want %d", i, n.Rel.Len(), len(rel.PerNode[i]))
+		}
+		if n.Metrics.SwitchedAt != -1 {
+			t.Errorf("node %d SwitchedAt = %d, want -1", i, n.Metrics.SwitchedAt)
+		}
+	}
+	if c.Coord == nil || c.Coord.ID != prm.N {
+		t.Error("coordinator not wired with ID N")
+	}
+	if c.Coord.Rel.Len() != 0 {
+		t.Error("coordinator holds relation tuples")
+	}
+	if c.CoordID() != prm.N {
+		t.Errorf("CoordID = %d", c.CoordID())
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	rel := workload.Uniform(2, 100, 10, 1)
+	if _, err := New(testParams(4), rel); err == nil {
+		t.Error("partition/node mismatch accepted")
+	}
+	bad := testParams(4)
+	bad.MIPS = 0
+	if _, err := New(bad, workload.Uniform(4, 100, 10, 1)); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestWorkChargesCPU(t *testing.T) {
+	prm := testParams(1)
+	c, err := New(prm, workload.Uniform(1, 10, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Nodes[0]
+	c.Sim.Spawn("w", func(p *des.Proc) {
+		n.Work(p, 400) // 400 instructions at 40 MIPS = 10 µs
+		n.Work(p, 0)   // free
+		n.Work(p, -5)  // ignored
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Elapsed(); got != 10*des.Microsecond {
+		t.Errorf("elapsed = %v, want 10µs", got)
+	}
+	n.Snapshot()
+	if n.Metrics.CPUBusy != 10*des.Microsecond {
+		t.Errorf("CPUBusy = %v", n.Metrics.CPUBusy)
+	}
+}
+
+func TestEmitDetectsDuplicateGroups(t *testing.T) {
+	c, err := New(testParams(1), workload.Uniform(1, 10, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := []tuple.Partial{{Key: 7, State: tuple.NewState(1)}}
+	if err := c.Emit(0, ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Emit(0, ps); err == nil {
+		t.Error("duplicate group emission accepted")
+	}
+	if len(c.Result) != 1 {
+		t.Errorf("result has %d groups", len(c.Result))
+	}
+}
+
+func TestSnapshotCapturesDiskActivity(t *testing.T) {
+	prm := testParams(1)
+	c, err := New(prm, workload.Uniform(1, 100, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Nodes[0]
+	c.Sim.Spawn("r", func(p *des.Proc) {
+		n.Rel.ReadPageSeq(p, 0)
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	n.Snapshot()
+	if n.Metrics.Disk.SeqReads != 1 {
+		t.Errorf("SeqReads = %d", n.Metrics.Disk.SeqReads)
+	}
+	if n.Metrics.DiskBusy != prm.SeqIO {
+		t.Errorf("DiskBusy = %v, want %v", n.Metrics.DiskBusy, prm.SeqIO)
+	}
+}

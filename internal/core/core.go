@@ -1,0 +1,235 @@
+// Package core implements the parallel aggregation algorithms of Shatdal &
+// Naughton, "Adaptive Parallel Aggregation Algorithms" (SIGMOD 1995), on
+// the simulated shared-nothing cluster of internal/cluster:
+//
+//   - Centralized Two Phase (C2P): local aggregation, then a single
+//     coordinator merges all partial results.
+//   - Two Phase (TwoPhase): local aggregation, then the partials are
+//     hash-partitioned and merged in parallel on all nodes.
+//   - Optimized Two Phase (OptTwoPhase): Graefe's variant — when the local
+//     hash table fills, overflow tuples are forwarded raw to their merge
+//     node instead of being spooled to disk.
+//   - Repartitioning (Rep): hash-partition the raw tuples first, then
+//     aggregate each partition in parallel.
+//   - Sampling (Samp): sample each node's partition, count groups at a
+//     coordinator, then run TwoPhase or Rep.
+//   - Adaptive Two Phase (A2P): start as TwoPhase; a node whose local hash
+//     table fills flushes its partials and repartitions the rest raw.
+//   - Adaptive Repartitioning (ARep): start as Rep; a node that observes
+//     too few groups broadcasts end-of-phase and every node falls back to
+//     the A2P strategy, reusing the merge table built so far.
+//
+// Every algorithm produces the exact aggregation result; Run verifies it
+// against a sequential reference fold before returning.
+package core
+
+import (
+	"fmt"
+
+	"parallelagg/internal/cluster"
+	"parallelagg/internal/des"
+	"parallelagg/internal/network"
+	"parallelagg/internal/params"
+	"parallelagg/internal/sample"
+	"parallelagg/internal/trace"
+	"parallelagg/internal/tuple"
+	"parallelagg/internal/workload"
+)
+
+// Algorithm selects a parallel aggregation strategy.
+type Algorithm int
+
+const (
+	C2P Algorithm = iota
+	TwoPhase
+	OptTwoPhase
+	Rep
+	Samp
+	A2P
+	ARep
+	// Bcast is the broadcast baseline of Bitton et al. [BBDW83], which the
+	// paper dismisses in Section 1; included so the dismissal is measurable.
+	Bcast
+)
+
+var algNames = map[Algorithm]string{
+	C2P:         "C-2P",
+	TwoPhase:    "2P",
+	OptTwoPhase: "Opt-2P",
+	Rep:         "Rep",
+	Samp:        "Samp",
+	A2P:         "A-2P",
+	ARep:        "A-Rep",
+	Bcast:       "Bcast",
+}
+
+// String returns the paper's abbreviation for the algorithm.
+func (a Algorithm) String() string {
+	if s, ok := algNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// All lists every implemented algorithm in presentation order (the paper's
+// seven plus the broadcast baseline).
+func All() []Algorithm {
+	return []Algorithm{C2P, TwoPhase, OptTwoPhase, Rep, Samp, A2P, ARep, Bcast}
+}
+
+// Options tunes the adaptive and sampling behaviour. The zero value selects
+// the defaults described on each field.
+type Options struct {
+	// CrossoverThreshold is the group count at which the Sampling
+	// algorithm switches from TwoPhase to Rep. Default: 100 × N (the
+	// paper's analytical-study setting).
+	CrossoverThreshold int
+
+	// SampleTuples is the total sample size across the cluster. Default:
+	// 10 × CrossoverThreshold, the paper's [ER61]-derived rule of thumb.
+	SampleTuples int
+
+	// InitSeg is the number of tuples an ARep node scans before judging
+	// whether repartitioning is worthwhile. Default: M/2.
+	InitSeg int
+
+	// SwitchRatio: an ARep node switches to the A2P strategy when the
+	// distinct groups observed in its first InitSeg tuples are fewer than
+	// SwitchRatio × InitSeg. Default: 0.1.
+	SwitchRatio float64
+
+	// MaxBuckets caps the fan-out of overflow partitioning. Default: 64.
+	MaxBuckets int
+
+	// Chao1 makes the Sampling coordinator decide on the Chao1 species
+	// estimate (observed + singletons²/2·doubletons) instead of the raw
+	// observed distinct count, extending a small sample's reach.
+	Chao1 bool
+
+	// Seed drives sampling page choice. Default: 1.
+	Seed int64
+
+	// NoResultStore suppresses the final result-write I/O, modelling an
+	// aggregation feeding a pipeline instead of a store (Figure 2).
+	NoResultStore bool
+
+	// Trace records a timeline of phase transitions, switches and spill
+	// passes into Result.Trace.
+	Trace bool
+}
+
+func (o Options) withDefaults(prm params.Params) Options {
+	if o.CrossoverThreshold == 0 {
+		o.CrossoverThreshold = 100 * prm.N
+	}
+	if o.SampleTuples == 0 {
+		o.SampleTuples = sample.RequiredTuples(o.CrossoverThreshold)
+	}
+	if o.InitSeg == 0 {
+		o.InitSeg = prm.HashEntries / 2
+		if o.InitSeg < 1 {
+			o.InitSeg = 1
+		}
+	}
+	if o.SwitchRatio == 0 {
+		o.SwitchRatio = 0.1
+	}
+	if o.MaxBuckets == 0 {
+		o.MaxBuckets = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Result is the outcome of one simulated query execution.
+type Result struct {
+	Algorithm Algorithm
+	Groups    map[tuple.Key]tuple.AggState
+	Elapsed   des.Duration
+	Nodes     []cluster.NodeMetrics
+	Net       network.Metrics
+
+	// Decision records the Sampling algorithm's choice ("2P" or "Rep"),
+	// the sampled group count, or is empty for other algorithms.
+	Decision string
+
+	// Switched counts nodes that changed strategy mid-query (adaptive
+	// algorithms only).
+	Switched int
+
+	// Trace is the execution timeline (nil unless Options.Trace was set).
+	Trace *trace.Log
+}
+
+// Run executes alg over rel on a simulated cluster configured by prm and
+// returns the timing, metrics and (verified) result groups.
+func Run(prm params.Params, rel *workload.Relation, alg Algorithm, opt Options) (*Result, error) {
+	prm.Tuples = rel.Tuples() // keep cost-sizing hints consistent with the data
+	opt = opt.withDefaults(prm)
+	c, err := cluster.New(prm, rel)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Algorithm: alg}
+	if opt.Trace {
+		c.Trace = &trace.Log{}
+		res.Trace = c.Trace
+	}
+	switch alg {
+	case C2P:
+		launchC2P(c, opt)
+	case TwoPhase:
+		launchPartitioned(c, opt, configFor2P())
+	case OptTwoPhase:
+		launchPartitioned(c, opt, configForOpt2P())
+	case Rep:
+		launchPartitioned(c, opt, configForRep())
+	case Samp:
+		launchSampling(c, opt, res)
+	case A2P:
+		launchPartitioned(c, opt, configForA2P())
+	case ARep:
+		launchPartitioned(c, opt, configForARep())
+	case Bcast:
+		launchBroadcast(c, opt)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", alg)
+	}
+	if err := c.Sim.Run(); err != nil {
+		return nil, fmt.Errorf("core: %v: %w", alg, err)
+	}
+	res.Groups = c.Result
+	res.Elapsed = c.Elapsed()
+	res.Net = c.Net.Metrics
+	for _, n := range c.Nodes {
+		n.Snapshot()
+		res.Nodes = append(res.Nodes, n.Metrics)
+		if n.Metrics.SwitchedAt >= 0 {
+			res.Switched++
+		}
+	}
+	if err := verify(rel, res.Groups); err != nil {
+		return nil, fmt.Errorf("core: %v produced a wrong answer: %w", alg, err)
+	}
+	return res, nil
+}
+
+// verify checks an algorithm's output against the sequential reference.
+func verify(rel *workload.Relation, got map[tuple.Key]tuple.AggState) error {
+	want := rel.Reference()
+	if len(got) != len(want) {
+		return fmt.Errorf("group count = %d, want %d", len(got), len(want))
+	}
+	for k, ws := range want {
+		gs, ok := got[k]
+		if !ok {
+			return fmt.Errorf("group %d missing", k)
+		}
+		if gs != ws {
+			return fmt.Errorf("group %d state = %v, want %v", k, gs, ws)
+		}
+	}
+	return nil
+}

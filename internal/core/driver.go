@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"parallelagg/internal/cluster"
+	"parallelagg/internal/des"
+	"parallelagg/internal/hashtab"
+	"parallelagg/internal/network"
+	"parallelagg/internal/trace"
+	"parallelagg/internal/tuple"
+)
+
+// mode is a node's current scanning strategy.
+type mode int
+
+const (
+	// modeLocal: aggregate scanned tuples into the node's local hash table
+	// (the first phase of the Two Phase family).
+	modeLocal mode = iota
+	// modeRepart: route scanned tuples raw to the node owning their group
+	// (the Repartitioning strategy).
+	modeRepart
+)
+
+// driverConfig describes one member of the partitioned-merge algorithm
+// family (every algorithm except C2P and the sampling front-end). All
+// family members share the same merge phase: each node owns the groups that
+// hash to it and merges whatever arrives — raw tuples, partial aggregates,
+// or both.
+type driverConfig struct {
+	start mode
+
+	// localSpill: a full local table spools overflow to disk (plain 2P).
+	localSpill bool
+	// forwardOnFull: a full local table forwards overflow tuples raw to
+	// their merge node (Graefe's optimized 2P).
+	forwardOnFull bool
+	// switchOnFull: a full local table triggers the Adaptive Two Phase
+	// switch — flush partials, then repartition the rest.
+	switchOnFull bool
+	// observe: watch the first InitSeg scanned tuples and fall back to the
+	// A2P strategy when too few groups appear (Adaptive Repartitioning).
+	observe bool
+}
+
+func configFor2P() driverConfig { return driverConfig{start: modeLocal, localSpill: true} }
+func configForOpt2P() driverConfig {
+	return driverConfig{start: modeLocal, forwardOnFull: true}
+}
+func configForRep() driverConfig { return driverConfig{start: modeRepart} }
+func configForA2P() driverConfig {
+	return driverConfig{start: modeLocal, switchOnFull: true}
+}
+func configForARep() driverConfig {
+	return driverConfig{start: modeRepart, switchOnFull: true, observe: true}
+}
+
+// driverNode is the per-node state machine of the partitioned family.
+type driverNode struct {
+	c   *cluster.Cluster
+	n   *cluster.Node
+	opt Options
+	cfg driverConfig
+
+	mode     mode
+	scanning bool
+
+	// local phase state: exactly one of localAgg (spilling) or localTab
+	// (bounded, adaptive) is set while mode may be modeLocal.
+	localAgg *aggregator
+	localTab *hashtab.Table
+
+	global *aggregator // merge phase table (groups hashing to this node)
+	ship   *shipper
+
+	eos     int
+	eopSent bool
+
+	// ARep observation of the first InitSeg scanned tuples.
+	obsDone   bool
+	obsSeen   int64
+	obsGroups map[tuple.Key]struct{}
+}
+
+func newDriverNode(c *cluster.Cluster, n *cluster.Node, opt Options, cfg driverConfig) *driverNode {
+	prm := c.Prm
+	d := &driverNode{
+		c:        c,
+		n:        n,
+		opt:      opt,
+		cfg:      cfg,
+		mode:     cfg.start,
+		scanning: true,
+		ship:     newShipper(c, n),
+		global: newAggregator(c, n, prm.TRead+prm.TAgg,
+			prm.Tuples/int64(prm.N)+1, opt.MaxBuckets),
+	}
+	if cfg.start == modeLocal || cfg.observe {
+		d.initLocal()
+	}
+	if cfg.observe {
+		d.obsGroups = make(map[tuple.Key]struct{})
+	}
+	return d
+}
+
+// initLocal prepares the local-phase structure for this configuration.
+func (d *driverNode) initLocal() {
+	prm := d.c.Prm
+	if d.cfg.localSpill {
+		d.localAgg = newAggregator(d.c, d.n, prm.TRead+prm.THash+prm.TAgg,
+			int64(d.n.Rel.Len()), d.opt.MaxBuckets)
+	} else {
+		d.localTab = hashtab.New(prm.HashEntries)
+	}
+}
+
+// scanPage processes one page of scanned tuples according to the current
+// mode, batching the per-tuple CPU charges into one Work call.
+func (d *driverNode) scanPage(p *des.Proc, ts []tuple.Tuple) {
+	prm := d.c.Prm
+	var instr float64
+	for _, t := range ts {
+		if d.mode == modeLocal {
+			// Getting the tuple off the data page, then local aggregation.
+			instr += prm.TRead + prm.TWrite
+			if d.cfg.localSpill {
+				instr += prm.TRead + prm.THash + prm.TAgg
+				d.localAgg.AddRaw(p, t)
+				continue
+			}
+			if d.localTab.UpdateRaw(t) {
+				instr += prm.TRead + prm.THash + prm.TAgg
+				continue
+			}
+			// Local table is full and this tuple starts a new group.
+			if d.cfg.forwardOnFull {
+				// Optimized 2P: forward the tuple to its merge node, keep
+				// the local table.
+				instr += prm.THash + prm.TDest
+				d.ship.Raw(p, t.Key.Dest(prm.N), t)
+				continue
+			}
+			// Adaptive 2P: flush partials and repartition from here on.
+			d.n.Work(p, instr)
+			instr = 0
+			d.switchToRepart(p)
+			// fall through: reprocess t in repartitioning mode
+		}
+		// Repartitioning: read, write, hash, destination, then route.
+		instr += prm.TRead + prm.TWrite + prm.THash + prm.TDest
+		d.ship.Raw(p, t.Key.Dest(prm.N), t)
+		if d.cfg.observe && !d.obsDone {
+			d.observe(p, t.Key)
+		}
+	}
+	d.n.Work(p, instr)
+	d.drainInbox(p)
+}
+
+// observe implements the ARep decision rule: watch the first InitSeg
+// scanned tuples; if they contain fewer than SwitchRatio×InitSeg distinct
+// groups, repartitioning is wasted effort — broadcast end-of-phase and fall
+// back to the A2P strategy.
+func (d *driverNode) observe(p *des.Proc, k tuple.Key) {
+	threshold := int(d.opt.SwitchRatio * float64(d.opt.InitSeg))
+	if threshold < 1 {
+		threshold = 1
+	}
+	d.obsSeen++
+	if len(d.obsGroups) <= threshold {
+		d.obsGroups[k] = struct{}{}
+	}
+	if len(d.obsGroups) > threshold {
+		// Plenty of groups: repartitioning is the right call. Stop watching.
+		d.obsDone, d.obsGroups = true, nil
+		return
+	}
+	if d.obsSeen >= int64(d.opt.InitSeg) {
+		d.obsDone, d.obsGroups = true, nil
+		d.endOfPhase(p)
+	}
+}
+
+// endOfPhase performs the ARep fallback on this node and tells everyone
+// else, exactly once.
+func (d *driverNode) endOfPhase(p *des.Proc) {
+	// A node that has already finished its scan must not react: it has
+	// nothing left to re-route, and its send side is closed (relaying here
+	// would violate the network's sender contract).
+	if d.eopSent || !d.scanning {
+		return
+	}
+	d.eopSent = true
+	d.c.Trace.Add(int64(p.Now()), d.n.ID, trace.EndOfPhase, "broadcasting end-of-phase")
+	d.ship.BroadcastEndOfPhase(p)
+	d.switchToLocal(p)
+}
+
+// switchToLocal moves a repartitioning node to local aggregation (the ARep
+// → A2P fallback). The merge table built so far stays in place.
+func (d *driverNode) switchToLocal(p *des.Proc) {
+	if !d.scanning || d.mode == modeLocal {
+		return
+	}
+	d.mode = modeLocal
+	if d.localTab == nil && d.localAgg == nil {
+		d.initLocal()
+	}
+	if d.n.Metrics.SwitchedAt < 0 {
+		d.n.Metrics.SwitchedAt = d.n.Metrics.Scanned
+	}
+	d.c.Trace.Add(int64(p.Now()), d.n.ID, trace.Switch,
+		fmt.Sprintf("falling back to local aggregation after %d tuples", d.n.Metrics.Scanned))
+}
+
+// switchToRepart performs the A2P switch: flush the accumulated local
+// partials to their merge nodes, free the memory, and repartition the
+// remaining tuples.
+func (d *driverNode) switchToRepart(p *des.Proc) {
+	d.mode = modeRepart
+	d.n.Metrics.SwitchedAt = d.n.Metrics.Scanned
+	d.c.Trace.Add(int64(p.Now()), d.n.ID, trace.Switch,
+		fmt.Sprintf("local table full after %d tuples; repartitioning", d.n.Metrics.Scanned))
+	d.flushLocalPartials(p)
+}
+
+// flushLocalPartials drains the local table (or spilling aggregator) and
+// ships every partial to the node owning its group.
+func (d *driverNode) flushLocalPartials(p *des.Proc) {
+	var parts []tuple.Partial
+	switch {
+	case d.localAgg != nil:
+		parts = d.localAgg.Finalize(p)
+	case d.localTab != nil:
+		parts = d.localTab.Drain()
+	default:
+		return
+	}
+	prm := d.c.Prm
+	d.n.Work(p, prm.TWrite*float64(len(parts)))
+	for _, pt := range parts {
+		d.ship.Partial(p, pt.Key.Dest(prm.N), pt)
+	}
+}
+
+// handleMsg merges one incoming message into the global table.
+func (d *driverNode) handleMsg(p *des.Proc, m *network.Message) {
+	if m.EndOfPhase && d.cfg.observe {
+		// Another node decided repartitioning is wasted; follow suit.
+		d.obsDone, d.obsGroups = true, nil
+		d.endOfPhase(p)
+	}
+	if k := len(m.Raw) + len(m.Partials); k > 0 {
+		d.global.chargeBatch(p, k)
+		for _, t := range m.Raw {
+			d.global.AddRaw(p, t)
+		}
+		for _, pt := range m.Partials {
+			d.global.AddPartial(p, pt)
+		}
+		d.n.Metrics.RecvRaw += int64(len(m.Raw))
+		d.n.Metrics.RecvPartials += int64(len(m.Partials))
+	}
+	if m.EOS {
+		d.eos++
+	}
+}
+
+// drainInbox processes every message already delivered, without blocking.
+func (d *driverNode) drainInbox(p *des.Proc) {
+	for {
+		m, ok := d.c.Net.TryRecv(p, d.n.CPU, d.n.ID)
+		if !ok {
+			return
+		}
+		d.handleMsg(p, m)
+	}
+}
+
+// run is the node's whole life: scan, finish the local phase, then merge
+// until every node has said EOS, and emit this node's share of the result.
+func (d *driverNode) run(p *des.Proc) {
+	startMode := "local"
+	if d.mode == modeRepart {
+		startMode = "repartition"
+	}
+	d.c.Trace.Add(int64(p.Now()), d.n.ID, trace.ScanStart, startMode+" mode")
+	for i := 0; i < d.n.Rel.Pages(); i++ {
+		ts := d.n.Rel.ReadPageSeq(p, i)
+		d.n.Metrics.Scanned += int64(len(ts))
+		d.scanPage(p, ts)
+	}
+	d.scanning = false
+	d.c.Trace.Add(int64(p.Now()), d.n.ID, trace.ScanEnd,
+		fmt.Sprintf("%d tuples scanned", d.n.Metrics.Scanned))
+	if d.mode == modeLocal {
+		d.flushLocalPartials(p)
+	}
+	d.ship.Flush(p)
+	d.ship.BroadcastEOS(p)
+	d.c.Net.Done()
+	for d.eos < d.c.Prm.N {
+		m, ok := d.c.Net.Recv(p, d.n.CPU, d.n.ID)
+		if !ok {
+			break
+		}
+		d.handleMsg(p, m)
+	}
+	out := d.global.Finalize(p)
+	emitResults(d.c, p, d.n, out, d.opt.NoResultStore)
+	d.c.Trace.Add(int64(p.Now()), d.n.ID, trace.MergeEnd,
+		fmt.Sprintf("%d groups emitted", len(out)))
+	d.n.Metrics.Finish = p.Now()
+}
+
+// launchPartitioned spawns one driver process per node for any member of
+// the partitioned-merge family.
+func launchPartitioned(c *cluster.Cluster, opt Options, cfg driverConfig) {
+	c.Net.AddSenders(c.Prm.N)
+	for _, n := range c.Nodes {
+		d := newDriverNode(c, n, opt, cfg)
+		c.Sim.Spawn(driverName(cfg, n.ID), d.run)
+	}
+}
+
+func driverName(cfg driverConfig, id int) string {
+	switch {
+	case cfg.observe:
+		return nodeName("arep", id)
+	case cfg.switchOnFull:
+		return nodeName("a2p", id)
+	case cfg.forwardOnFull:
+		return nodeName("opt2p", id)
+	case cfg.localSpill:
+		return nodeName("2p", id)
+	default:
+		return nodeName("rep", id)
+	}
+}
+
+func nodeName(alg string, id int) string {
+	return alg + "-node-" + strconv.Itoa(id)
+}

@@ -1,0 +1,226 @@
+// Package des implements a process-oriented discrete-event simulation
+// kernel. Simulated processes are goroutines that cooperatively hand
+// control to a single-threaded scheduler, so a simulation is fully
+// deterministic: given the same inputs it always produces the same event
+// order and the same virtual clock readings.
+//
+// The kernel provides three primitives, which together are enough to model
+// a shared-nothing database cluster:
+//
+//   - Proc: a simulated process (Delay advances its virtual clock),
+//   - Queue: a FIFO channel in virtual time, with optional delivery delays,
+//   - Resource: a FIFO-granted exclusive resource (a disk arm, a CPU, or a
+//     shared Ethernet bus).
+//
+// Only one process goroutine runs at any instant; every blocking primitive
+// parks the calling goroutine and returns control to the scheduler. Events
+// scheduled for the same virtual time fire in schedule order.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration's constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// String formats the duration in seconds with millisecond precision.
+func (d Duration) String() string { return fmt.Sprintf("%.3fs", d.Seconds()) }
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type procState int
+
+const (
+	stateReady procState = iota
+	stateRunning
+	stateParked
+	stateDone
+)
+
+// Proc is a simulated process. A Proc is created by Simulation.Spawn and is
+// only valid inside the function passed to Spawn; all its methods must be
+// called from that goroutine.
+type Proc struct {
+	sim       *Simulation
+	name      string
+	wake      chan struct{}
+	state     procState
+	blockedOn string // human-readable description for deadlock reports
+}
+
+// Name returns the name given to Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation this process belongs to.
+func (p *Proc) Sim() *Simulation { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Delay advances this process's virtual clock by d, letting other processes
+// run in the meantime. It panics if d is negative.
+func (p *Proc) Delay(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %d in process %q", d, p.name))
+	}
+	if d == 0 {
+		return
+	}
+	p.sim.schedule(p.sim.now+Time(d), p)
+	p.park("delay")
+}
+
+// park returns control to the scheduler and blocks until the scheduler
+// resumes this process.
+func (p *Proc) park(why string) {
+	p.state = stateParked
+	p.blockedOn = why
+	p.sim.yield <- yieldParked
+	<-p.wake
+	p.state = stateRunning
+	p.blockedOn = ""
+}
+
+type yieldKind int
+
+const (
+	yieldParked yieldKind = iota
+	yieldDone
+)
+
+type event struct {
+	t   Time
+	seq uint64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulation owns the virtual clock and the event queue. The zero value is
+// not usable; call New.
+type Simulation struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	yield  chan yieldKind
+	procs  []*Proc
+	nlive  int
+	ran    bool
+}
+
+// New returns an empty simulation at virtual time zero.
+func New() *Simulation {
+	return &Simulation{yield: make(chan yieldKind)}
+}
+
+// Now returns the current virtual time. After Run it is the completion time
+// of the last event.
+func (s *Simulation) Now() Time { return s.now }
+
+func (s *Simulation) schedule(t Time, p *Proc) {
+	s.seq++
+	heap.Push(&s.events, event{t: t, seq: s.seq, p: p})
+}
+
+// Spawn creates a process named name running fn. The process starts at the
+// current virtual time once Run is (or already is) driving the simulation.
+// Spawn may be called before Run or from inside a running process.
+func (s *Simulation) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, wake: make(chan struct{}), state: stateReady}
+	s.procs = append(s.procs, p)
+	s.nlive++
+	go func() {
+		<-p.wake
+		p.state = stateRunning
+		fn(p)
+		p.state = stateDone
+		s.yield <- yieldDone
+	}()
+	s.schedule(s.now, p)
+	return p
+}
+
+// DeadlockError reports processes that were still blocked when the event
+// queue drained.
+type DeadlockError struct {
+	// Blocked lists "name (reason)" for each still-parked process.
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("des: deadlock: %d process(es) still blocked: %s",
+		len(e.Blocked), strings.Join(e.Blocked, ", "))
+}
+
+// Run drives the simulation until the event queue is empty. It returns a
+// *DeadlockError if any spawned process is still blocked at that point
+// (i.e. waiting on a Queue or Resource that will never be signalled), and
+// nil when every process has terminated. Run must be called exactly once.
+func (s *Simulation) Run() error {
+	if s.ran {
+		panic("des: Run called twice")
+	}
+	s.ran = true
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(event)
+		if ev.p.state == stateDone {
+			continue
+		}
+		if ev.t < s.now {
+			panic("des: event scheduled in the past")
+		}
+		s.now = ev.t
+		ev.p.wake <- struct{}{}
+		if k := <-s.yield; k == yieldDone {
+			s.nlive--
+		}
+	}
+	if s.nlive > 0 {
+		var blocked []string
+		for _, p := range s.procs {
+			if p.state == stateParked {
+				blocked = append(blocked, fmt.Sprintf("%s (%s)", p.name, p.blockedOn))
+			}
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{Blocked: blocked}
+	}
+	return nil
+}

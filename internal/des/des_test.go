@@ -1,0 +1,557 @@
+package des
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestDelayAdvancesClock(t *testing.T) {
+	s := New()
+	var end Time
+	s.Spawn("p", func(p *Proc) {
+		p.Delay(5 * Millisecond)
+		p.Delay(7 * Millisecond)
+		end = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Time(12 * Millisecond); end != want {
+		t.Errorf("end time = %v, want %v", end, want)
+	}
+	if s.Now() != end {
+		t.Errorf("sim.Now() = %v, want %v", s.Now(), end)
+	}
+}
+
+func TestZeroDelayIsNoop(t *testing.T) {
+	s := New()
+	s.Spawn("p", func(p *Proc) {
+		p.Delay(0)
+		if p.Now() != 0 {
+			t.Errorf("clock moved on zero delay: %v", p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	s.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative delay did not panic")
+			}
+		}()
+		p.Delay(-1)
+	})
+	// The panic is recovered inside the process, so Run completes.
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		s := New()
+		var log []string
+		for i := 0; i < 3; i++ {
+			i := i
+			s.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					p.Delay(Duration(i+1) * Millisecond)
+					log = append(log, fmt.Sprintf("p%d@%d", i, p.Now()/Time(Millisecond)))
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 10; trial++ {
+		got := run()
+		if len(got) != len(first) {
+			t.Fatalf("trial %d: %d events, want %d", trial, len(got), len(first))
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d: event %d = %s, want %s", trial, i, got[i], first[i])
+			}
+		}
+	}
+}
+
+func TestSameTimeEventsFireInScheduleOrder(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Delay(Millisecond)
+			order = append(order, i)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending spawn order", order)
+		}
+	}
+}
+
+func TestSpawnFromRunningProcess(t *testing.T) {
+	s := New()
+	var childEnd Time
+	s.Spawn("parent", func(p *Proc) {
+		p.Delay(3 * Millisecond)
+		s.Spawn("child", func(c *Proc) {
+			if c.Now() != Time(3*Millisecond) {
+				t.Errorf("child started at %v, want 3ms", c.Now())
+			}
+			c.Delay(2 * Millisecond)
+			childEnd = c.Now()
+		})
+		p.Delay(10 * Millisecond)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childEnd != Time(5*Millisecond) {
+		t.Errorf("child ended at %v, want 5ms", childEnd)
+	}
+}
+
+func TestQueuePutGet(t *testing.T) {
+	s := New()
+	q := s.NewQueue("q")
+	var got []int
+	s.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Delay(Millisecond)
+			q.Put(i)
+		}
+		q.Close()
+	})
+	s.Spawn("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v.(int))
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d items, want 4", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+}
+
+func TestQueueDelayedDelivery(t *testing.T) {
+	s := New()
+	q := s.NewQueue("q")
+	var arrival Time
+	s.Spawn("producer", func(p *Proc) {
+		q.PutAt(p.Now()+Time(5*Millisecond), "pkt")
+	})
+	s.Spawn("consumer", func(p *Proc) {
+		v, ok := q.Get(p)
+		if !ok || v != "pkt" {
+			t.Errorf("Get = %v, %v", v, ok)
+		}
+		arrival = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrival != Time(5*Millisecond) {
+		t.Errorf("arrival = %v, want 5ms", arrival)
+	}
+}
+
+func TestQueueTryGet(t *testing.T) {
+	s := New()
+	q := s.NewQueue("q")
+	s.Spawn("p", func(p *Proc) {
+		if _, ok := q.TryGet(); ok {
+			t.Error("TryGet on empty queue returned ok")
+		}
+		q.PutAt(p.Now()+Time(Millisecond), 1)
+		if _, ok := q.TryGet(); ok {
+			t.Error("TryGet returned an in-transit item")
+		}
+		p.Delay(Millisecond)
+		if v, ok := q.TryGet(); !ok || v != 1 {
+			t.Errorf("TryGet = %v, %v after transit; want 1, true", v, ok)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueMultipleConsumersDrainEverything(t *testing.T) {
+	s := New()
+	q := s.NewQueue("q")
+	const items = 100
+	var got int
+	s.Spawn("producer", func(p *Proc) {
+		for i := 0; i < items; i++ {
+			p.Delay(Microsecond)
+			q.Put(i)
+		}
+		q.Close()
+	})
+	for c := 0; c < 3; c++ {
+		s.Spawn(fmt.Sprintf("consumer%d", c), func(p *Proc) {
+			for {
+				if _, ok := q.Get(p); !ok {
+					return
+				}
+				got++
+				p.Delay(2 * Microsecond)
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != items {
+		t.Errorf("consumed %d items, want %d", got, items)
+	}
+}
+
+func TestQueueCloseUnblocksWaiters(t *testing.T) {
+	s := New()
+	q := s.NewQueue("q")
+	var unblocked int
+	for i := 0; i < 3; i++ {
+		s.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			if _, ok := q.Get(p); ok {
+				t.Error("Get returned an item from an empty closed queue")
+			}
+			unblocked++
+		})
+	}
+	s.Spawn("closer", func(p *Proc) {
+		p.Delay(Millisecond)
+		q.Close()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if unblocked != 3 {
+		t.Errorf("%d waiters unblocked, want 3", unblocked)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	s := New()
+	q := s.NewQueue("never")
+	s.Spawn("stuck", func(p *Proc) {
+		q.Get(p)
+	})
+	err := s.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("Run = %v, want DeadlockError", err)
+	}
+	if len(dl.Blocked) != 1 {
+		t.Fatalf("blocked = %v, want one entry", dl.Blocked)
+	}
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	s := New()
+	r := s.NewResource("disk")
+	var finish []Time
+	for i := 0; i < 4; i++ {
+		s.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			r.Use(p, 10*Millisecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Four 10ms exclusive uses must serialize: 10, 20, 30, 40ms.
+	for i, f := range finish {
+		want := Time((i + 1) * 10 * int(Millisecond))
+		if f != want {
+			t.Errorf("finish[%d] = %v, want %v", i, f, want)
+		}
+	}
+	if r.BusyTime != 40*Millisecond {
+		t.Errorf("BusyTime = %v, want 40ms", r.BusyTime)
+	}
+}
+
+func TestResourceFIFOGrant(t *testing.T) {
+	s := New()
+	r := s.NewResource("r")
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Delay(Duration(i) * Microsecond) // arrive in index order
+			r.Acquire(p)
+			order = append(order, i)
+			p.Delay(Millisecond)
+			r.Release(p)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("grant order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestReleaseByNonHolderPanics(t *testing.T) {
+	s := New()
+	r := s.NewResource("r")
+	s.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Release by non-holder did not panic")
+			}
+		}()
+		r.Release(p)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the virtual clock observed by any single process never goes
+// backwards, for arbitrary delay sequences across competing processes.
+func TestClockMonotonicProperty(t *testing.T) {
+	f := func(delaysA, delaysB []uint16) bool {
+		s := New()
+		ok := true
+		mk := func(name string, delays []uint16) {
+			s.Spawn(name, func(p *Proc) {
+				last := p.Now()
+				for _, d := range delays {
+					p.Delay(Duration(d) * Microsecond)
+					if p.Now() < last {
+						ok = false
+					}
+					last = p.Now()
+				}
+			})
+		}
+		mk("a", delaysA)
+		mk("b", delaysB)
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a queue delivers exactly the multiset of values put into it,
+// in FIFO order for a single producer/consumer pair, regardless of the
+// interleaving of production delays.
+func TestQueueFIFOProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New()
+		q := s.NewQueue("q")
+		n := len(delays)
+		var got []int
+		s.Spawn("prod", func(p *Proc) {
+			for i, d := range delays {
+				p.Delay(Duration(d) * Microsecond)
+				q.Put(i)
+			}
+			q.Close()
+		})
+		s.Spawn("cons", func(p *Proc) {
+			for {
+				v, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				got = append(got, v.(int))
+			}
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		if len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPutAtInPastPanics(t *testing.T) {
+	s := New()
+	q := s.NewQueue("q")
+	s.Spawn("p", func(p *Proc) {
+		p.Delay(Millisecond)
+		defer func() {
+			if recover() == nil {
+				t.Error("PutAt in the past did not panic")
+			}
+		}()
+		q.PutAt(0, "late")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleClosePanics(t *testing.T) {
+	s := New()
+	q := s.NewQueue("q")
+	s.Spawn("p", func(p *Proc) {
+		q.Close()
+		defer func() {
+			if recover() == nil {
+				t.Error("double Close did not panic")
+			}
+		}()
+		q.Close()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutOnClosedQueuePanics(t *testing.T) {
+	s := New()
+	q := s.NewQueue("q")
+	s.Spawn("p", func(p *Proc) {
+		q.Close()
+		defer func() {
+			if recover() == nil {
+				t.Error("Put on closed queue did not panic")
+			}
+		}()
+		q.Put(1)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceQueueLen(t *testing.T) {
+	s := New()
+	r := s.NewResource("r")
+	var observed int
+	s.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Delay(10 * Millisecond)
+		observed = r.QueueLen()
+		r.Release(p)
+	})
+	for i := 0; i < 3; i++ {
+		s.Spawn("waiter", func(p *Proc) {
+			p.Delay(Millisecond)
+			r.Use(p, Millisecond)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if observed != 3 {
+		t.Errorf("QueueLen = %d, want 3 waiters", observed)
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	s := New()
+	s.Spawn("p", func(p *Proc) {})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("second Run did not panic")
+		}
+	}()
+	s.Run()
+}
+
+// Property: with k producers and one consumer, the consumer receives the
+// exact multiset of produced values regardless of timing interleavings.
+func TestQueueMultiProducerMultisetProperty(t *testing.T) {
+	f := func(delaysA, delaysB []uint8) bool {
+		s := New()
+		q := s.NewQueue("q")
+		total := len(delaysA) + len(delaysB)
+		producers := 2
+		doneProducers := 0
+		var got []int
+		mk := func(base int, delays []uint8) {
+			s.Spawn("prod", func(p *Proc) {
+				for i, d := range delays {
+					p.Delay(Duration(d) * Microsecond)
+					q.Put(base + i)
+				}
+				doneProducers++
+				if doneProducers == producers {
+					q.Close()
+				}
+			})
+		}
+		mk(0, delaysA)
+		mk(1000, delaysB)
+		s.Spawn("cons", func(p *Proc) {
+			for {
+				v, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				got = append(got, v.(int))
+			}
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		if len(got) != total {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

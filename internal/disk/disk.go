@@ -1,0 +1,209 @@
+// Package disk simulates one node's local disk. All I/O is charged in
+// virtual time against a per-disk arm resource: sequential page accesses
+// cost Params.SeqIO, random page accesses cost Params.RandIO, matching the
+// IO and rIO rows of Table 1. The package provides the three kinds of
+// storage the algorithms need:
+//
+//   - Relation: the node's base-relation partition (pre-loaded, scan or
+//     random-read by page),
+//   - Spill: an overflow file of raw and/or partial tuples, written when an
+//     aggregation hash table exceeds memory and re-read bucket by bucket,
+//   - result storage (StoreResult), charging the paper's result-write I/O.
+package disk
+
+import (
+	"fmt"
+
+	"parallelagg/internal/des"
+	"parallelagg/internal/params"
+	"parallelagg/internal/tuple"
+)
+
+// Metrics counts I/O activity on one disk, in pages.
+type Metrics struct {
+	SeqReads   int64 // sequential page reads (scans, spill re-reads)
+	RandReads  int64 // random page reads (sampling)
+	PageWrites int64 // page writes (spills, result storage)
+}
+
+// Disk is one node's disk. Methods that take a *des.Proc charge virtual
+// time; the arm resource serializes concurrent accesses by the node's
+// operator processes.
+type Disk struct {
+	prm params.Params
+	arm *des.Resource
+
+	// Metrics accumulates page counts across all files on this disk.
+	Metrics Metrics
+}
+
+// New returns a disk for one node of the given configuration.
+func New(sim *des.Simulation, node int, prm params.Params) *Disk {
+	return &Disk{prm: prm, arm: sim.NewResource(fmt.Sprintf("disk%d", node))}
+}
+
+// BusyTime returns the total virtual time the disk arm has been in use.
+func (d *Disk) BusyTime() des.Duration { return d.arm.BusyTime }
+
+// readSeq charges n sequential page reads.
+func (d *Disk) readSeq(p *des.Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	d.arm.Use(p, des.Duration(n)*d.prm.SeqIO)
+	d.Metrics.SeqReads += n
+}
+
+// readRand charges n random page reads.
+func (d *Disk) readRand(p *des.Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	d.arm.Use(p, des.Duration(n)*d.prm.RandIO)
+	d.Metrics.RandReads += n
+}
+
+// write charges n sequential page writes.
+func (d *Disk) write(p *des.Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	d.arm.Use(p, des.Duration(n)*d.prm.SeqIO)
+	d.Metrics.PageWrites += n
+}
+
+// Relation is a node's partition of the base relation, stored as
+// Params.TupleBytes-wide records, Params.TuplesPerDiskPage to a page.
+type Relation struct {
+	d      *Disk
+	tuples []tuple.Tuple
+}
+
+// LoadRelation places tuples on the disk without charging I/O (loading the
+// base relation is not part of the measured query).
+func (d *Disk) LoadRelation(tuples []tuple.Tuple) *Relation {
+	return &Relation{d: d, tuples: tuples}
+}
+
+// Len returns the number of tuples in the partition.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Pages returns the number of disk pages the partition occupies.
+func (r *Relation) Pages() int {
+	return int(r.d.prm.DiskPages(int64(len(r.tuples))))
+}
+
+// ReadPageSeq reads page idx sequentially, returning its tuples. The slice
+// aliases the relation; callers must not modify it.
+func (r *Relation) ReadPageSeq(p *des.Proc, idx int) []tuple.Tuple {
+	return r.readPage(p, idx, false)
+}
+
+// ReadPageRand reads page idx with a random access (sampling).
+func (r *Relation) ReadPageRand(p *des.Proc, idx int) []tuple.Tuple {
+	return r.readPage(p, idx, true)
+}
+
+func (r *Relation) readPage(p *des.Proc, idx int, random bool) []tuple.Tuple {
+	np := r.Pages()
+	if idx < 0 || idx >= np {
+		panic(fmt.Sprintf("disk: relation page %d out of range [0,%d)", idx, np))
+	}
+	if random {
+		r.d.readRand(p, 1)
+	} else {
+		r.d.readSeq(p, 1)
+	}
+	per := r.d.prm.TuplesPerDiskPage()
+	lo := idx * per
+	hi := lo + per
+	if hi > len(r.tuples) {
+		hi = len(r.tuples)
+	}
+	return r.tuples[lo:hi]
+}
+
+// Record is one spill-file record: either a raw projected tuple or a
+// partial aggregate.
+type Record struct {
+	IsPartial bool
+	Raw       tuple.Tuple
+	Partial   tuple.Partial
+}
+
+// Bytes returns the stored width of the record.
+func (r Record) Bytes() int {
+	if r.IsPartial {
+		return tuple.PartialSize
+	}
+	return tuple.RawSize
+}
+
+// Spill is an overflow file: records are appended raw-or-partial, buffered
+// into pages, and written when a page's worth of bytes accumulates. The
+// paper charges each overflowed tuple one page-share of a write and later
+// one page-share of a read; Spill reproduces exactly that.
+type Spill struct {
+	d        *Disk
+	recs     []Record
+	buffered int // bytes not yet charged as a page write
+}
+
+// NewSpill returns an empty overflow file on the disk.
+func (d *Disk) NewSpill() *Spill { return &Spill{d: d} }
+
+// Len returns the number of spilled records.
+func (s *Spill) Len() int { return len(s.recs) }
+
+// AppendRaw spills a raw tuple, charging a page write whenever the write
+// buffer fills.
+func (s *Spill) AppendRaw(p *des.Proc, t tuple.Tuple) {
+	s.append(p, Record{Raw: t})
+}
+
+// AppendPartial spills a partial aggregate.
+func (s *Spill) AppendPartial(p *des.Proc, pt tuple.Partial) {
+	s.append(p, Record{IsPartial: true, Partial: pt})
+}
+
+func (s *Spill) append(p *des.Proc, rec Record) {
+	s.recs = append(s.recs, rec)
+	s.buffered += rec.Bytes()
+	for s.buffered >= s.d.prm.PageBytes {
+		s.d.write(p, 1)
+		s.buffered -= s.d.prm.PageBytes
+	}
+}
+
+// Flush writes any final partially-filled page.
+func (s *Spill) Flush(p *des.Proc) {
+	if s.buffered > 0 {
+		s.d.write(p, 1)
+		s.buffered = 0
+	}
+}
+
+// ReadAll reads the whole spill file back sequentially, charging one read
+// per page, and returns its records. The spill is emptied.
+func (s *Spill) ReadAll(p *des.Proc) []Record {
+	if s.buffered > 0 {
+		panic("disk: ReadAll of unflushed spill")
+	}
+	var bytes int64
+	for _, r := range s.recs {
+		bytes += int64(r.Bytes())
+	}
+	pages := (bytes + int64(s.d.prm.PageBytes) - 1) / int64(s.d.prm.PageBytes)
+	s.d.readSeq(p, pages)
+	out := s.recs
+	s.recs = nil
+	return out
+}
+
+// StoreResult charges the I/O to store n result tuples of the projected
+// width on this disk (the paper's "storing result to local disk" term).
+func (d *Disk) StoreResult(p *des.Proc, n int64) {
+	bytes := n * int64(d.prm.ProjTupleBytes())
+	pages := (bytes + int64(d.prm.PageBytes) - 1) / int64(d.prm.PageBytes)
+	d.write(p, pages)
+}

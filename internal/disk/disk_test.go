@@ -1,0 +1,218 @@
+package disk
+
+import (
+	"testing"
+
+	"parallelagg/internal/des"
+	"parallelagg/internal/params"
+	"parallelagg/internal/tuple"
+)
+
+func testParams() params.Params {
+	p := params.Default()
+	p.N = 1
+	return p
+}
+
+// run spawns fn as a single simulated process and drives the simulation.
+func run(t *testing.T, fn func(sim *des.Simulation, p *des.Proc)) des.Time {
+	t.Helper()
+	sim := des.New()
+	sim.Spawn("test", func(p *des.Proc) { fn(sim, p) })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sim.Now()
+}
+
+func mkTuples(n int) []tuple.Tuple {
+	ts := make([]tuple.Tuple, n)
+	for i := range ts {
+		ts[i] = tuple.Tuple{Key: tuple.Key(i), Val: int64(i)}
+	}
+	return ts
+}
+
+func TestRelationGeometry(t *testing.T) {
+	prm := testParams() // 40 tuples per 4KB page
+	sim := des.New()
+	d := New(sim, 0, prm)
+	r := d.LoadRelation(mkTuples(101))
+	if r.Len() != 101 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if r.Pages() != 3 {
+		t.Errorf("Pages = %d, want 3", r.Pages())
+	}
+}
+
+func TestSequentialScanCost(t *testing.T) {
+	prm := testParams()
+	var d *Disk
+	end := run(t, func(sim *des.Simulation, p *des.Proc) {
+		d = New(sim, 0, prm)
+		r := d.LoadRelation(mkTuples(120)) // exactly 3 pages
+		var got int
+		for i := 0; i < r.Pages(); i++ {
+			got += len(r.ReadPageSeq(p, i))
+		}
+		if got != 120 {
+			t.Errorf("scanned %d tuples, want 120", got)
+		}
+	})
+	if want := des.Time(3 * prm.SeqIO); end != want {
+		t.Errorf("scan time = %v, want %v", end, want)
+	}
+	if d.Metrics.SeqReads != 3 {
+		t.Errorf("SeqReads = %d, want 3", d.Metrics.SeqReads)
+	}
+}
+
+func TestRandomReadCost(t *testing.T) {
+	prm := testParams()
+	var d *Disk
+	end := run(t, func(sim *des.Simulation, p *des.Proc) {
+		d = New(sim, 0, prm)
+		r := d.LoadRelation(mkTuples(400))
+		r.ReadPageRand(p, 7)
+		r.ReadPageRand(p, 2)
+	})
+	if want := des.Time(2 * prm.RandIO); end != want {
+		t.Errorf("time = %v, want %v", end, want)
+	}
+	if d.Metrics.RandReads != 2 {
+		t.Errorf("RandReads = %d, want 2", d.Metrics.RandReads)
+	}
+}
+
+func TestReadPageOutOfRangePanics(t *testing.T) {
+	prm := testParams()
+	run(t, func(sim *des.Simulation, p *des.Proc) {
+		d := New(sim, 0, prm)
+		r := d.LoadRelation(mkTuples(10))
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range read did not panic")
+			}
+		}()
+		r.ReadPageSeq(p, 1)
+	})
+}
+
+func TestSpillChargesPageGranularWrites(t *testing.T) {
+	prm := testParams() // 4096-byte pages; raw records are 16 B → 256/page
+	var d *Disk
+	run(t, func(sim *des.Simulation, p *des.Proc) {
+		d = New(sim, 0, prm)
+		s := d.NewSpill()
+		for i := 0; i < 256; i++ { // exactly one page
+			s.AppendRaw(p, tuple.Tuple{Key: tuple.Key(i)})
+		}
+		if d.Metrics.PageWrites != 1 {
+			t.Errorf("PageWrites after exactly one page = %d, want 1", d.Metrics.PageWrites)
+		}
+		s.AppendRaw(p, tuple.Tuple{Key: 999}) // starts a second page
+		s.Flush(p)
+		if d.Metrics.PageWrites != 2 {
+			t.Errorf("PageWrites after flush = %d, want 2", d.Metrics.PageWrites)
+		}
+		recs := s.ReadAll(p)
+		if len(recs) != 257 {
+			t.Errorf("ReadAll returned %d records, want 257", len(recs))
+		}
+		if s.Len() != 0 {
+			t.Error("spill not emptied by ReadAll")
+		}
+	})
+	if d.Metrics.SeqReads != 2 {
+		t.Errorf("SeqReads = %d, want 2 (reading back both pages)", d.Metrics.SeqReads)
+	}
+}
+
+func TestSpillMixedRecordWidths(t *testing.T) {
+	prm := testParams()
+	run(t, func(sim *des.Simulation, p *des.Proc) {
+		d := New(sim, 0, prm)
+		s := d.NewSpill()
+		s.AppendRaw(p, tuple.Tuple{Key: 1, Val: 2})
+		s.AppendPartial(p, tuple.Partial{Key: 3, State: tuple.NewState(4)})
+		s.Flush(p)
+		recs := s.ReadAll(p)
+		if len(recs) != 2 {
+			t.Fatalf("got %d records", len(recs))
+		}
+		if recs[0].IsPartial || recs[0].Raw.Key != 1 {
+			t.Errorf("rec 0 = %+v", recs[0])
+		}
+		if !recs[1].IsPartial || recs[1].Partial.Key != 3 {
+			t.Errorf("rec 1 = %+v", recs[1])
+		}
+		if recs[0].Bytes() != tuple.RawSize || recs[1].Bytes() != tuple.PartialSize {
+			t.Error("record widths wrong")
+		}
+	})
+}
+
+func TestReadAllUnflushedPanics(t *testing.T) {
+	prm := testParams()
+	run(t, func(sim *des.Simulation, p *des.Proc) {
+		d := New(sim, 0, prm)
+		s := d.NewSpill()
+		s.AppendRaw(p, tuple.Tuple{})
+		defer func() {
+			if recover() == nil {
+				t.Error("ReadAll of unflushed spill did not panic")
+			}
+		}()
+		s.ReadAll(p)
+	})
+}
+
+func TestStoreResultCost(t *testing.T) {
+	prm := testParams() // 16-byte projected tuples → 256 per page
+	var d *Disk
+	run(t, func(sim *des.Simulation, p *des.Proc) {
+		d = New(sim, 0, prm)
+		d.StoreResult(p, 257)
+	})
+	if d.Metrics.PageWrites != 2 {
+		t.Errorf("PageWrites = %d, want 2", d.Metrics.PageWrites)
+	}
+}
+
+func TestEmptyOperationsCostNothing(t *testing.T) {
+	prm := testParams()
+	end := run(t, func(sim *des.Simulation, p *des.Proc) {
+		d := New(sim, 0, prm)
+		s := d.NewSpill()
+		s.Flush(p)
+		if recs := s.ReadAll(p); len(recs) != 0 {
+			t.Errorf("ReadAll of empty spill = %v", recs)
+		}
+		d.StoreResult(p, 0)
+	})
+	if end != 0 {
+		t.Errorf("empty operations advanced the clock to %v", end)
+	}
+}
+
+func TestArmSerializesConcurrentAccess(t *testing.T) {
+	prm := testParams()
+	sim := des.New()
+	d := New(sim, 0, prm)
+	r := d.LoadRelation(mkTuples(80)) // 2 pages
+	done := make([]des.Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		sim.Spawn("reader", func(p *des.Proc) {
+			r.ReadPageSeq(p, i)
+			done[i] = p.Now()
+		})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done[0] != des.Time(prm.SeqIO) || done[1] != des.Time(2*prm.SeqIO) {
+		t.Errorf("finish times %v; want serialized 1×IO and 2×IO", done)
+	}
+}

@@ -1,0 +1,485 @@
+// Package dist executes the parallel aggregation algorithms over real TCP
+// connections — the modern equivalent of the paper's Section 5
+// implementation, which ran on eight workstations connected by Ethernet
+// under PVM. Each node is a full protocol participant: it serves a
+// listener, dials every peer, exchanges length-delimited binary frames
+// (the same record encodings the simulator's pages use), aggregates its
+// partition, and merges the groups that hash to it.
+//
+// Nodes can run in one process (the in-process Run launcher used by tests
+// and examples) or as separate OS processes given each other's addresses
+// (RunNode with a pre-bound listener) — the wire protocol is identical.
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parallelagg/internal/tuple"
+)
+
+// Algorithm selects the distributed strategy. The Sampling front-end needs
+// a coordinator and is left to the simulator; the other four cover the
+// paper's implementation study, including Adaptive Repartitioning's
+// end-of-phase broadcast (a control frame on every peer connection).
+type Algorithm int
+
+const (
+	// TwoPhase: aggregate locally, exchange partials, merge in parallel.
+	TwoPhase Algorithm = iota
+	// Repartitioning: exchange raw tuples, aggregate owned groups.
+	Repartitioning
+	// AdaptiveTwoPhase: start as TwoPhase, switch to raw repartitioning
+	// when the local table hits Config.TableEntries.
+	AdaptiveTwoPhase
+	// AdaptiveRepartitioning: start as Repartitioning; a node that sees
+	// too few distinct groups in its first InitSeg tuples broadcasts an
+	// end-of-phase frame and every node falls back to AdaptiveTwoPhase.
+	AdaptiveRepartitioning
+)
+
+// String returns the paper's abbreviation.
+func (a Algorithm) String() string {
+	switch a {
+	case TwoPhase:
+		return "2P"
+	case Repartitioning:
+		return "Rep"
+	case AdaptiveTwoPhase:
+		return "A-2P"
+	case AdaptiveRepartitioning:
+		return "A-Rep"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config describes one node's view of the cluster.
+type Config struct {
+	// ID is this node's index; Addrs lists every node's listen address,
+	// Addrs[ID] being our own.
+	ID    int
+	Addrs []string
+
+	Algorithm Algorithm
+
+	// TableEntries bounds the local hash table (0 = unbounded; the
+	// adaptive switch then never fires).
+	TableEntries int
+
+	// Batch is the number of records per frame. Default 1024.
+	Batch int
+
+	// InitSeg and SwitchRatio drive AdaptiveRepartitioning's fallback,
+	// with the same meaning as the simulator's options. Defaults: 4096
+	// and 0.1.
+	InitSeg     int
+	SwitchRatio float64
+
+	// DialTimeout bounds the whole peer-connection phase. Default 5s.
+	DialTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Batch <= 0 {
+		c.Batch = 1024
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.InitSeg <= 0 {
+		c.InitSeg = 4096
+	}
+	if c.SwitchRatio <= 0 {
+		c.SwitchRatio = 0.1
+	}
+	return c
+}
+
+// NodeResult is one node's share of the answer.
+type NodeResult struct {
+	Groups   map[tuple.Key]tuple.AggState
+	Switched bool // the adaptive switch fired on this node
+
+	// RawSent and PartialsSent count the records this node shipped; they
+	// are the distributed analogue of the simulator's network metrics.
+	RawSent      int64
+	PartialsSent int64
+}
+
+// RunNode executes one node's role: it must be called with a listener
+// already bound to cfg.Addrs[cfg.ID] (so peers can connect regardless of
+// start order). It returns the final aggregate states of the groups this
+// node owns. The listener is closed before returning.
+func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, error) {
+	cfg = cfg.withDefaults()
+	n := len(cfg.Addrs)
+	if n == 0 {
+		return nil, fmt.Errorf("dist: empty address list")
+	}
+	if cfg.ID < 0 || cfg.ID >= n {
+		return nil, fmt.Errorf("dist: node id %d out of range [0,%d)", cfg.ID, n)
+	}
+	defer ln.Close()
+
+	// Accept side: n incoming connections (every node, including
+	// ourselves, dials every node). Frames are funnelled into one channel;
+	// the merge loop is the only consumer.
+	type incoming struct {
+		f   frame
+		err error
+	}
+	frames := make(chan incoming, 4*n)
+	var accepters sync.WaitGroup
+	accepters.Add(n)
+	acceptErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case acceptErr <- fmt.Errorf("dist: node %d accept: %w", cfg.ID, err):
+				default:
+				}
+				for ; i < n; i++ {
+					accepters.Done()
+				}
+				return
+			}
+			go func(conn net.Conn) {
+				defer accepters.Done()
+				defer conn.Close()
+				r := bufio.NewReaderSize(conn, 1<<16)
+				if _, err := readHello(r); err != nil {
+					frames <- incoming{err: fmt.Errorf("dist: node %d hello: %w", cfg.ID, err)}
+					return
+				}
+				for {
+					f, err := readFrame(r)
+					if err != nil {
+						frames <- incoming{err: fmt.Errorf("dist: node %d read: %w", cfg.ID, err)}
+						return
+					}
+					frames <- incoming{f: f}
+					if f.kind == frameEOS {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	// Dial side: one outgoing connection per node, with retries while the
+	// cluster comes up.
+	outs := make([]*bufio.Writer, n)
+	conns := make([]net.Conn, n)
+	deadline := time.Now().Add(cfg.DialTimeout)
+	for j := 0; j < n; j++ {
+		var conn net.Conn
+		var err error
+		for {
+			conn, err = net.DialTimeout("tcp", cfg.Addrs[j], time.Second)
+			if err == nil || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dist: node %d dialing node %d (%s): %w", cfg.ID, j, cfg.Addrs[j], err)
+		}
+		conns[j] = conn
+		outs[j] = bufio.NewWriterSize(conn, 1<<16)
+		if err := writeHello(outs[j], cfg.ID); err != nil {
+			return nil, fmt.Errorf("dist: node %d hello to %d: %w", cfg.ID, j, err)
+		}
+	}
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+
+	// Merge side runs concurrently with the scan so the exchange never
+	// backs up into a TCP deadlock. The fallback flag carries Adaptive
+	// Repartitioning's end-of-phase signal from the merge loop (which sees
+	// the frames) to the scan loop (which must change strategy).
+	var fallback atomic.Bool
+	merged := make(map[tuple.Key]tuple.AggState)
+	var mergeErr error
+	var mergeDone sync.WaitGroup
+	mergeDone.Add(1)
+	go func() {
+		defer mergeDone.Done()
+		eos := 0
+		absorb := func(pt tuple.Partial) {
+			if s, ok := merged[pt.Key]; ok {
+				s.Merge(pt.State)
+				merged[pt.Key] = s
+			} else {
+				merged[pt.Key] = pt.State
+			}
+		}
+		for eos < n {
+			in := <-frames
+			if in.err != nil {
+				mergeErr = in.err
+				return
+			}
+			switch in.f.kind {
+			case frameEOS:
+				eos++
+			case frameEOP:
+				fallback.Store(true)
+			case frameRaw:
+				for _, t := range in.f.raw {
+					absorb(tuple.Partial{Key: t.Key, State: tuple.NewState(t.Val)})
+				}
+			case framePartial:
+				for _, pt := range in.f.partials {
+					absorb(pt)
+				}
+			}
+		}
+	}()
+
+	// Scan side: the same per-node state machine as the live engine.
+	res := &NodeResult{}
+	switched, err := scanAndShip(cfg, part, outs, &fallback, res)
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < n; j++ {
+		if err := writeEOSFrame(outs[j]); err != nil {
+			return nil, fmt.Errorf("dist: node %d EOS to %d: %w", cfg.ID, j, err)
+		}
+	}
+
+	mergeDone.Wait()
+	if mergeErr != nil {
+		return nil, mergeErr
+	}
+	accepters.Wait()
+	select {
+	case err := <-acceptErr:
+		return nil, err
+	default:
+	}
+	// Sanity: every merged group must hash to this node.
+	for k := range merged {
+		if k.Dest(n) != cfg.ID {
+			return nil, fmt.Errorf("dist: node %d received group %d owned by node %d", cfg.ID, k, k.Dest(n))
+		}
+	}
+	res.Groups = merged
+	res.Switched = switched
+	return res, nil
+}
+
+// scanAndShip runs the scan-side state machine, writing frames to outs.
+// fallback carries the Adaptive Repartitioning end-of-phase signal in both
+// directions: the merge loop sets it when another node broadcasts, and
+// this side sets it (and broadcasts) when its own observation triggers.
+func scanAndShip(cfg Config, part []tuple.Tuple, outs []*bufio.Writer, fallback *atomic.Bool, res *NodeResult) (bool, error) {
+	n := len(outs)
+	local := make(map[tuple.Key]tuple.AggState)
+	bound := cfg.TableEntries
+	routing := cfg.Algorithm == Repartitioning || cfg.Algorithm == AdaptiveRepartitioning
+	switched := false
+
+	// ARep observation of the first InitSeg scanned tuples. fellBack
+	// latches the end-of-phase transition so a later A-2P switch back to
+	// routing is not undone by the (still-set) fallback flag.
+	observing := cfg.Algorithm == AdaptiveRepartitioning
+	fellBack := false
+	obsSeen := 0
+	obsGroups := make(map[tuple.Key]struct{})
+	threshold := int(cfg.SwitchRatio * float64(cfg.InitSeg))
+	if threshold < 1 {
+		threshold = 1
+	}
+
+	rawBuf := make([][]tuple.Tuple, n)
+	shipRaw := func(t tuple.Tuple) error {
+		d := t.Key.Dest(n)
+		rawBuf[d] = append(rawBuf[d], t)
+		if len(rawBuf[d]) >= cfg.Batch {
+			if err := writeRawFrame(outs[d], rawBuf[d]); err != nil {
+				return err
+			}
+			res.RawSent += int64(len(rawBuf[d]))
+			rawBuf[d] = rawBuf[d][:0]
+		}
+		return nil
+	}
+	flushPartials := func() error {
+		partBuf := make([][]tuple.Partial, n)
+		for k, s := range local {
+			d := k.Dest(n)
+			partBuf[d] = append(partBuf[d], tuple.Partial{Key: k, State: s})
+		}
+		for d := 0; d < n; d++ {
+			if len(partBuf[d]) > 0 {
+				if err := writePartialFrame(outs[d], partBuf[d]); err != nil {
+					return err
+				}
+				res.PartialsSent += int64(len(partBuf[d]))
+			}
+		}
+		local = make(map[tuple.Key]tuple.AggState)
+		return nil
+	}
+
+	for _, t := range part {
+		if routing && cfg.Algorithm == AdaptiveRepartitioning && !fellBack {
+			if fallback.Load() {
+				// Someone (possibly us, via a relayed frame) declared
+				// end-of-phase: fall back to local aggregation.
+				fellBack = true
+				routing = false
+				switched = true
+				observing = false
+			} else if observing {
+				obsSeen++
+				if len(obsGroups) <= threshold {
+					obsGroups[t.Key] = struct{}{}
+				}
+				if len(obsGroups) > threshold {
+					observing = false // plenty of groups: keep routing
+				} else if obsSeen >= cfg.InitSeg {
+					observing = false
+					fellBack = true
+					fallback.Store(true)
+					routing = false
+					switched = true
+					for d := 0; d < n; d++ {
+						if err := writeEOPFrame(outs[d]); err != nil {
+							return switched, err
+						}
+					}
+				}
+			}
+		}
+		if routing {
+			if err := shipRaw(t); err != nil {
+				return switched, err
+			}
+			continue
+		}
+		if s, ok := local[t.Key]; ok {
+			s.Update(t.Val)
+			local[t.Key] = s
+			continue
+		}
+		if bound > 0 && len(local) >= bound {
+			switch cfg.Algorithm {
+			case AdaptiveTwoPhase, AdaptiveRepartitioning:
+				// The A-2P switch, over a real network this time.
+				if err := flushPartials(); err != nil {
+					return switched, err
+				}
+				routing = true
+				switched = true
+				observing = false
+				if err := shipRaw(t); err != nil {
+					return switched, err
+				}
+				continue
+			default:
+				// Plain 2P with a hard bound: evict the full table as
+				// partials (a memory-pressure flush) and keep going.
+				if err := flushPartials(); err != nil {
+					return switched, err
+				}
+			}
+		}
+		local[t.Key] = tuple.NewState(t.Val)
+	}
+	if err := flushPartials(); err != nil {
+		return switched, err
+	}
+	for d := 0; d < n; d++ {
+		if len(rawBuf[d]) > 0 {
+			if err := writeRawFrame(outs[d], rawBuf[d]); err != nil {
+				return switched, err
+			}
+			res.RawSent += int64(len(rawBuf[d]))
+		}
+	}
+	return switched, nil
+}
+
+// ClusterResult is the combined outcome of an in-process cluster run.
+type ClusterResult struct {
+	Groups   map[tuple.Key]tuple.AggState
+	Switched int // nodes that changed strategy mid-query
+}
+
+// Run launches an n-node cluster on loopback TCP inside this process, one
+// goroutine per node, runs the query, and returns the combined result plus
+// how many nodes switched strategy. It is the in-process analogue of
+// starting n RunNode processes.
+func Run(parts [][]tuple.Tuple, alg Algorithm, tableEntries int) (map[tuple.Key]tuple.AggState, int, error) {
+	res, err := RunConfigured(parts, Config{Algorithm: alg, TableEntries: tableEntries})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Groups, res.Switched, nil
+}
+
+// RunConfigured is Run with full per-node configuration control: template
+// is copied to every node with ID and Addrs filled in.
+func RunConfigured(parts [][]tuple.Tuple, template Config) (*ClusterResult, error) {
+	n := len(parts)
+	if n == 0 {
+		return &ClusterResult{Groups: map[tuple.Key]tuple.AggState{}}, nil
+	}
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("dist: listen: %w", err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	results := make([]*NodeResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			cfg := template
+			cfg.ID = i
+			cfg.Addrs = addrs
+			results[i], errs[i] = RunNode(listeners[i], cfg, parts[i])
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dist: node %d: %w", i, err)
+		}
+	}
+	out := &ClusterResult{Groups: make(map[tuple.Key]tuple.AggState)}
+	for i, r := range results {
+		if r.Switched {
+			out.Switched++
+		}
+		for k, s := range r.Groups {
+			if _, dup := out.Groups[k]; dup {
+				return nil, fmt.Errorf("dist: group %d produced by two nodes (second: %d)", k, i)
+			}
+			out.Groups[k] = s
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,249 @@
+package dist
+
+import (
+	"net"
+	"testing"
+
+	"parallelagg/internal/tuple"
+	"parallelagg/internal/workload"
+)
+
+func algorithms() []Algorithm {
+	return []Algorithm{TwoPhase, Repartitioning, AdaptiveTwoPhase, AdaptiveRepartitioning}
+}
+
+func verify(t *testing.T, rel *workload.Relation, got map[tuple.Key]tuple.AggState) {
+	t.Helper()
+	want := rel.Reference()
+	if len(got) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(got), len(want))
+	}
+	for k, ws := range want {
+		if gs, ok := got[k]; !ok || gs != ws {
+			t.Fatalf("group %d = %v, want %v", k, got[k], ws)
+		}
+	}
+}
+
+func TestDistributedAllAlgorithms(t *testing.T) {
+	workloads := []*workload.Relation{
+		workload.Uniform(4, 20_000, 1, 1),
+		workload.Uniform(4, 20_000, 100, 2),
+		workload.Uniform(4, 20_000, 8_000, 3),
+		workload.OutputSkew(4, 20_000, 1_000, 4),
+	}
+	for _, alg := range algorithms() {
+		for wi, rel := range workloads {
+			got, _, err := Run(rel.PerNode, alg, 256)
+			if err != nil {
+				t.Fatalf("%v workload %d: %v", alg, wi, err)
+			}
+			verify(t, rel, got)
+		}
+	}
+}
+
+func TestDistributedUnboundedTables(t *testing.T) {
+	rel := workload.Uniform(3, 9_000, 500, 5)
+	got, switched, err := Run(rel.PerNode, AdaptiveTwoPhase, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, rel, got)
+	if switched != 0 {
+		t.Errorf("switched = %d with unbounded tables", switched)
+	}
+}
+
+func TestDistributedAdaptiveSwitch(t *testing.T) {
+	// Many groups and a tiny bound: every node must switch, over real TCP.
+	rel := workload.Uniform(4, 20_000, 10_000, 6)
+	got, switched, err := Run(rel.PerNode, AdaptiveTwoPhase, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, rel, got)
+	if switched != 4 {
+		t.Errorf("switched = %d nodes, want 4", switched)
+	}
+	// Few groups: nobody switches.
+	rel = workload.Uniform(4, 20_000, 10, 7)
+	_, switched, err = Run(rel.PerNode, AdaptiveTwoPhase, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if switched != 0 {
+		t.Errorf("switched = %d nodes on a 10-group workload", switched)
+	}
+}
+
+func TestDistributedSingleNode(t *testing.T) {
+	rel := workload.Uniform(1, 5_000, 300, 8)
+	for _, alg := range algorithms() {
+		got, _, err := Run(rel.PerNode, alg, 100)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		verify(t, rel, got)
+	}
+}
+
+func TestDistributedEmpty(t *testing.T) {
+	got, _, err := Run(nil, TwoPhase, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty cluster produced %d groups", len(got))
+	}
+	// Nodes with empty partitions still complete the protocol.
+	parts := make([][]tuple.Tuple, 3)
+	got, _, err = Run(parts, Repartitioning, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty partitions produced %d groups", len(got))
+	}
+}
+
+func TestRunNodeValidatesConfig(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunNode(ln, Config{ID: 0, Addrs: nil}, nil); err == nil {
+		t.Error("empty address list accepted")
+	}
+	ln2, _ := net.Listen("tcp", "127.0.0.1:0")
+	if _, err := RunNode(ln2, Config{ID: 5, Addrs: []string{"x"}}, nil); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	if TwoPhase.String() != "2P" || Repartitioning.String() != "Rep" ||
+		AdaptiveTwoPhase.String() != "A-2P" || AdaptiveRepartitioning.String() != "A-Rep" {
+		t.Error("algorithm names wrong")
+	}
+}
+
+func TestDistributedARepFallsBack(t *testing.T) {
+	// Few groups: every node should fall back to the two-phase strategy
+	// via its own observation or the relayed end-of-phase frame.
+	rel := workload.Uniform(4, 40_000, 5, 9)
+	got, err := RunConfigured(rel.PerNode, Config{
+		Algorithm:    AdaptiveRepartitioning,
+		TableEntries: 1_000,
+		InitSeg:      500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, rel, got.Groups)
+	if got.Switched == 0 {
+		t.Error("no node fell back on a 5-group workload")
+	}
+
+	// Many groups: everyone keeps repartitioning.
+	rel = workload.Uniform(4, 40_000, 20_000, 10)
+	got, err = RunConfigured(rel.PerNode, Config{
+		Algorithm: AdaptiveRepartitioning,
+		InitSeg:   500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, rel, got.Groups)
+	if got.Switched != 0 {
+		t.Errorf("%d nodes fell back on a 20000-group workload", got.Switched)
+	}
+}
+
+func TestDistributedARepFallbackThenOverflow(t *testing.T) {
+	// Few DISTINCT early groups trigger the fallback, but the relation has
+	// more groups than the bound overall: nodes fall back, overflow, and
+	// switch forward again — the full A-Rep → A-2P → Rep journey. The
+	// answer must survive all of it.
+	rel := workload.Zipf(4, 40_000, 5_000, 1.6, 11)
+	got, err := RunConfigured(rel.PerNode, Config{
+		Algorithm:    AdaptiveRepartitioning,
+		TableEntries: 64,
+		InitSeg:      200,
+		SwitchRatio:  0.5, // aggressive: Zipf's hot keys look like few groups
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, rel, got.Groups)
+}
+
+func TestDistributedNodeMetricsRepShipsAllRaw(t *testing.T) {
+	rel := workload.Uniform(1, 5_000, 50, 13)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunNode(ln, Config{
+		ID:        0,
+		Addrs:     []string{ln.Addr().String()},
+		Algorithm: Repartitioning,
+	}, rel.PerNode[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawSent != 5_000 {
+		t.Errorf("RawSent = %d, want 5000", res.RawSent)
+	}
+	if res.PartialsSent != 0 {
+		t.Errorf("PartialsSent = %d, want 0", res.PartialsSent)
+	}
+	// 2P ships only partials: 50 groups.
+	ln2, _ := net.Listen("tcp", "127.0.0.1:0")
+	res, err = RunNode(ln2, Config{
+		ID:        0,
+		Addrs:     []string{ln2.Addr().String()},
+		Algorithm: TwoPhase,
+	}, rel.PerNode[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawSent != 0 || res.PartialsSent != 50 {
+		t.Errorf("2P sent raw=%d partials=%d, want 0/50", res.RawSent, res.PartialsSent)
+	}
+}
+
+func TestDistributedLargerClusterStress(t *testing.T) {
+	// 8 nodes, all four algorithms, heavier relation: full-mesh = 64 TCP
+	// connections per run, exercising connection setup, framing and the
+	// merge protocol at a realistic fan-in.
+	rel := workload.Uniform(8, 80_000, 9_000, 14)
+	for _, alg := range algorithms() {
+		got, _, err := Run(rel.PerNode, alg, 512)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		verify(t, rel, got)
+	}
+}
+
+func TestDistributedDeterministicAnswer(t *testing.T) {
+	// Wall-clock timing varies across runs, but the ANSWER never does.
+	rel := workload.Zipf(4, 30_000, 3_000, 1.4, 15)
+	a, _, err := Run(rel.PerNode, AdaptiveTwoPhase, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Run(rel.PerNode, AdaptiveTwoPhase, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("group counts differ: %d vs %d", len(a), len(b))
+	}
+	for k, s := range a {
+		if b[k] != s {
+			t.Fatalf("group %d differs across runs", k)
+		}
+	}
+}

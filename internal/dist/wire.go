@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"parallelagg/internal/tuple"
+)
+
+// Wire protocol: length-delimited frames over TCP.
+//
+//	hello frame (once per connection):  [u32 srcID]
+//	data frame:                         [u8 kind][u32 count][count records]
+//
+// Raw records are tuple.RawSize bytes, partial records tuple.PartialSize
+// bytes, in the same little-endian layout the simulator's pages use. An
+// EOS frame has kind frameEOS and count 0.
+const (
+	frameRaw     = 1
+	framePartial = 2
+	frameEOS     = 3
+	// frameEOP carries Adaptive Repartitioning's end-of-phase broadcast.
+	frameEOP = 4
+)
+
+// maxFrameRecords bounds a frame so a corrupt length cannot allocate
+// unbounded memory.
+const maxFrameRecords = 1 << 20
+
+// writeHello sends the connection's source node id.
+func writeHello(w io.Writer, src int) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(src))
+	_, err := w.Write(b[:])
+	return err
+}
+
+// readHello receives the peer's node id.
+func readHello(r io.Reader) (int, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return int(binary.LittleEndian.Uint32(b[:])), nil
+}
+
+func writeHeader(w io.Writer, kind byte, count int) error {
+	var b [5]byte
+	b[0] = kind
+	binary.LittleEndian.PutUint32(b[1:], uint32(count))
+	_, err := w.Write(b[:])
+	return err
+}
+
+// writeRawFrame sends a batch of raw tuples.
+func writeRawFrame(w *bufio.Writer, ts []tuple.Tuple) error {
+	if err := writeHeader(w, frameRaw, len(ts)); err != nil {
+		return err
+	}
+	var rec [tuple.RawSize]byte
+	for _, t := range ts {
+		tuple.EncodeRaw(rec[:], t)
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePartialFrame sends a batch of partial aggregates.
+func writePartialFrame(w *bufio.Writer, ps []tuple.Partial) error {
+	if err := writeHeader(w, framePartial, len(ps)); err != nil {
+		return err
+	}
+	var rec [tuple.PartialSize]byte
+	for _, pt := range ps {
+		tuple.EncodePartial(rec[:], pt)
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeEOSFrame signals end of stream and flushes.
+func writeEOSFrame(w *bufio.Writer) error {
+	if err := writeHeader(w, frameEOS, 0); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// writeEOPFrame broadcasts Adaptive Repartitioning's end-of-phase signal
+// and flushes so it is not stuck behind buffered data.
+func writeEOPFrame(w *bufio.Writer) error {
+	if err := writeHeader(w, frameEOP, 0); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// frame is one decoded wire frame.
+type frame struct {
+	kind     byte
+	raw      []tuple.Tuple
+	partials []tuple.Partial
+}
+
+// readFrame decodes the next frame.
+func readFrame(r *bufio.Reader) (frame, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	kind := hdr[0]
+	count := int(binary.LittleEndian.Uint32(hdr[1:]))
+	if count < 0 || count > maxFrameRecords {
+		return frame{}, fmt.Errorf("dist: frame count %d out of range", count)
+	}
+	switch kind {
+	case frameEOS, frameEOP:
+		if count != 0 {
+			return frame{}, fmt.Errorf("dist: control frame %d with count %d", kind, count)
+		}
+		return frame{kind: kind}, nil
+	case frameRaw:
+		f := frame{kind: kind, raw: make([]tuple.Tuple, count)}
+		var rec [tuple.RawSize]byte
+		for i := 0; i < count; i++ {
+			if _, err := io.ReadFull(r, rec[:]); err != nil {
+				return frame{}, err
+			}
+			f.raw[i] = tuple.DecodeRaw(rec[:])
+		}
+		return f, nil
+	case framePartial:
+		f := frame{kind: kind, partials: make([]tuple.Partial, count)}
+		var rec [tuple.PartialSize]byte
+		for i := 0; i < count; i++ {
+			if _, err := io.ReadFull(r, rec[:]); err != nil {
+				return frame{}, err
+			}
+			f.partials[i] = tuple.DecodePartial(rec[:])
+		}
+		return f, nil
+	default:
+		return frame{}, fmt.Errorf("dist: unknown frame kind %d", kind)
+	}
+}

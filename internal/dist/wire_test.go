@@ -1,0 +1,108 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"parallelagg/internal/tuple"
+)
+
+func TestWireRawRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	in := []tuple.Tuple{{Key: 1, Val: -2}, {Key: 3, Val: 4}}
+	if err := writeRawFrame(w, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeEOSFrame(w); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	f, err := readFrame(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.kind != frameRaw || len(f.raw) != 2 || f.raw[0] != in[0] || f.raw[1] != in[1] {
+		t.Fatalf("frame = %+v", f)
+	}
+	f, err = readFrame(r)
+	if err != nil || f.kind != frameEOS {
+		t.Fatalf("EOS frame = %+v, %v", f, err)
+	}
+}
+
+func TestWirePartialRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	in := []tuple.Partial{{Key: 9, State: tuple.NewState(7)}}
+	if err := writePartialFrame(w, in); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	f, err := readFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.kind != framePartial || len(f.partials) != 1 || f.partials[0] != in[0] {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestWireRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"unknown kind":   {9, 0, 0, 0, 0},
+		"eos with count": {frameEOS, 1, 0, 0, 0},
+		"huge count":     {frameRaw, 0xff, 0xff, 0xff, 0x7f},
+		"truncated":      {frameRaw, 2, 0, 0, 0, 1, 2, 3},
+	}
+	for name, b := range cases {
+		if _, err := readFrame(bufio.NewReader(bytes.NewReader(b))); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeHello(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readHello(&buf)
+	if err != nil || got != 42 {
+		t.Fatalf("hello = %d, %v", got, err)
+	}
+}
+
+// Property: any batch of tuples survives the wire encoding.
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(keys []uint16, vals []int32) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		in := make([]tuple.Tuple, n)
+		for i := 0; i < n; i++ {
+			in[i] = tuple.Tuple{Key: tuple.Key(keys[i]), Val: int64(vals[i])}
+		}
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if writeRawFrame(w, in) != nil || w.Flush() != nil {
+			return false
+		}
+		fr, err := readFrame(bufio.NewReader(&buf))
+		if err != nil || len(fr.raw) != n {
+			return false
+		}
+		for i := range in {
+			if fr.raw[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

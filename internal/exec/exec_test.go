@@ -1,0 +1,473 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"parallelagg/internal/cluster"
+	"parallelagg/internal/params"
+	"parallelagg/internal/tuple"
+	"parallelagg/internal/workload"
+)
+
+func testParams(n int) params.Params {
+	p := params.Implementation()
+	p.N = n
+	p.HashEntries = 64
+	return p
+}
+
+func verify(t *testing.T, rel *workload.Relation, got map[tuple.Key]tuple.AggState) {
+	t.Helper()
+	want := rel.Reference()
+	if len(got) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(got), len(want))
+	}
+	for k, ws := range want {
+		if gs, ok := got[k]; !ok || gs != ws {
+			t.Fatalf("group %d = %v, want %v", k, got[k], ws)
+		}
+	}
+}
+
+func TestTwoPhasePlanCorrect(t *testing.T) {
+	for _, groups := range []int64{1, 10, 500, 2000} {
+		rel := workload.Uniform(4, 4000, groups, int64(groups))
+		res, err := RunPlan(testParams(4), rel, func(c *cluster.Cluster) {
+			BuildTwoPhase(c, PlanOptions{})
+		})
+		if err != nil {
+			t.Fatalf("groups=%d: %v", groups, err)
+		}
+		verify(t, rel, res.Groups)
+		if res.Elapsed <= 0 {
+			t.Error("elapsed not positive")
+		}
+	}
+}
+
+func TestRepartitionPlanCorrect(t *testing.T) {
+	for _, groups := range []int64{1, 500, 2000} {
+		rel := workload.Uniform(4, 4000, groups, int64(groups)+7)
+		res, err := RunPlan(testParams(4), rel, func(c *cluster.Cluster) {
+			BuildRepartition(c, PlanOptions{})
+		})
+		if err != nil {
+			t.Fatalf("groups=%d: %v", groups, err)
+		}
+		verify(t, rel, res.Groups)
+	}
+}
+
+func TestSortBasedPlansCorrect(t *testing.T) {
+	rel := workload.Uniform(4, 4000, 700, 3)
+	for _, build := range []func(*cluster.Cluster){
+		func(c *cluster.Cluster) { BuildTwoPhase(c, PlanOptions{SortBased: true}) },
+		func(c *cluster.Cluster) { BuildRepartition(c, PlanOptions{SortBased: true}) },
+	} {
+		res, err := RunPlan(testParams(4), rel, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verify(t, rel, res.Groups)
+	}
+}
+
+func TestFilterPushdown(t *testing.T) {
+	rel := workload.Uniform(4, 4000, 100, 5)
+	pred := func(tp tuple.Tuple) bool { return tp.Key%2 == 0 }
+	res, err := RunPlan(testParams(4), rel, func(c *cluster.Cluster) {
+		BuildTwoPhase(c, PlanOptions{Filter: pred})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference with the same predicate applied.
+	want := map[tuple.Key]tuple.AggState{}
+	for _, part := range rel.PerNode {
+		for _, tp := range part {
+			if !pred(tp) {
+				continue
+			}
+			if s, ok := want[tp.Key]; ok {
+				s.Update(tp.Val)
+				want[tp.Key] = s
+			} else {
+				want[tp.Key] = tuple.NewState(tp.Val)
+			}
+		}
+	}
+	if len(res.Groups) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(res.Groups), len(want))
+	}
+	for k, ws := range want {
+		if res.Groups[k] != ws {
+			t.Fatalf("group %d = %v, want %v", k, res.Groups[k], ws)
+		}
+	}
+}
+
+func TestPlanAndCoreAgreeOnOrdering(t *testing.T) {
+	// The pipelined operator plan and the integrated core implementation
+	// should agree on which traditional algorithm wins at each extreme.
+	prm := testParams(4)
+	few := workload.Uniform(4, 6000, 5, 11)
+	many := workload.Uniform(4, 6000, 3000, 12)
+	elapsed := func(rel *workload.Relation, build func(*cluster.Cluster)) float64 {
+		res, err := RunPlan(prm, rel, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed.Seconds()
+	}
+	twoP := func(c *cluster.Cluster) { BuildTwoPhase(c, PlanOptions{}) }
+	rep := func(c *cluster.Cluster) { BuildRepartition(c, PlanOptions{}) }
+	if elapsed(few, twoP) >= elapsed(few, rep) {
+		t.Error("plans: 2P should win at few groups")
+	}
+	if elapsed(many, rep) >= elapsed(many, twoP) {
+		t.Error("plans: Rep should win at many groups (M=64)")
+	}
+}
+
+func TestNoIOPlanFaster(t *testing.T) {
+	rel := workload.Uniform(4, 4000, 2000, 13)
+	with, err := RunPlan(testParams(4), rel, func(c *cluster.Cluster) {
+		BuildRepartition(c, PlanOptions{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := RunPlan(testParams(4), rel, func(c *cluster.Cluster) {
+		BuildRepartition(c, PlanOptions{NoIO: true})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.Elapsed >= with.Elapsed {
+		t.Errorf("NoIO %v not faster than %v", without.Elapsed, with.Elapsed)
+	}
+}
+
+func TestSortAggSpillsOnMemoryPressure(t *testing.T) {
+	prm := testParams(4)
+	prm.HashEntries = 32 // tiny runs
+	rel := workload.Uniform(4, 2000, 800, 17)
+	res, err := RunPlan(prm, rel, func(c *cluster.Cluster) {
+		BuildRepartition(c, PlanOptions{SortBased: true})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, rel, res.Groups)
+	var spilled int64
+	for _, m := range res.Nodes {
+		spilled += m.Spilled
+	}
+	if spilled == 0 {
+		t.Error("sort-based aggregation never spooled a run despite 32-record memory")
+	}
+}
+
+func TestHashVsSortCostOrdering(t *testing.T) {
+	// With abundant memory, hash aggregation should beat sort-based
+	// aggregation (no n·log n term). This is the classic result the
+	// paper's hash-only treatment assumes.
+	prm := testParams(4)
+	prm.HashEntries = 100_000
+	rel := workload.Uniform(4, 8000, 400, 19)
+	hash, err := RunPlan(prm, rel, func(c *cluster.Cluster) {
+		BuildTwoPhase(c, PlanOptions{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := RunPlan(prm, rel, func(c *cluster.Cluster) {
+		BuildTwoPhase(c, PlanOptions{SortBased: true})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash.Elapsed >= sorted.Elapsed {
+		t.Errorf("hash %v should beat sort %v in memory", hash.Elapsed, sorted.Elapsed)
+	}
+}
+
+func TestEmptyRelationPlans(t *testing.T) {
+	rel := &workload.Relation{PerNode: make([][]tuple.Tuple, 4), Name: "empty"}
+	for name, build := range map[string]func(*cluster.Cluster){
+		"2p":  func(c *cluster.Cluster) { BuildTwoPhase(c, PlanOptions{}) },
+		"rep": func(c *cluster.Cluster) { BuildRepartition(c, PlanOptions{}) },
+	} {
+		res, err := RunPlan(testParams(4), rel, build)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Groups) != 0 {
+			t.Errorf("%s: empty relation produced groups", name)
+		}
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	mk := func() *workload.Relation { return workload.Uniform(4, 3000, 200, 23) }
+	a, err := RunPlan(testParams(4), mk(), func(c *cluster.Cluster) { BuildTwoPhase(c, PlanOptions{}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPlan(testParams(4), mk(), func(c *cluster.Cluster) { BuildTwoPhase(c, PlanOptions{}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("plan elapsed differs: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}
+
+func TestOperatorNames(t *testing.T) {
+	prm := testParams(2)
+	rel := workload.Uniform(2, 10, 2, 1)
+	c, err := cluster.New(prm, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Nodes[1]
+	port := NewPort(c, "p")
+	for _, want := range []struct {
+		op   Operator
+		name string
+	}{
+		{&Scan{C: c, Node: n, Out: port}, "scan-1"},
+		{&Filter{C: c, Node: n}, "filter-1"},
+		{&HashAgg{C: c, Node: n, Local: true}, "hashagg-local-1"},
+		{&HashAgg{C: c, Node: n}, "hashagg-merge-1"},
+		{&SortAgg{C: c, Node: n}, "sortagg-1"},
+		{&SplitSend{C: c, Node: n}, "split-1"},
+		{&MergeRecv{C: c, Node: n}, "mergerecv-1"},
+		{&Store{C: c, Node: n}, "store-1"},
+	} {
+		if got := want.op.Name(); got != want.name {
+			t.Errorf("Name() = %q, want %q", got, want.name)
+		}
+	}
+}
+
+func TestPipelineOverlapBeatsSerialPhases(t *testing.T) {
+	// In the operator plan the merge side consumes while the scan side
+	// produces, so a Repartition plan's elapsed time must be well below
+	// the sum of its scan and merge work — i.e. real pipelining happens.
+	prm := testParams(4)
+	rel := workload.Uniform(4, 8000, 4000, 29)
+	res, err := RunPlan(prm, rel, func(c *cluster.Cluster) {
+		BuildRepartition(c, PlanOptions{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, rel, res.Groups)
+	var fin float64
+	for _, m := range res.Nodes {
+		if f := float64(m.Finish); f > fin {
+			fin = f
+		}
+	}
+	if fin != float64(res.Elapsed) {
+		t.Errorf("max node finish %v != elapsed %v", fin, res.Elapsed)
+	}
+}
+
+func BenchmarkTwoPhasePlan(b *testing.B) {
+	prm := testParams(8)
+	prm.HashEntries = 500
+	rel := workload.Uniform(8, 20_000, 1000, 1)
+	for i := 0; i < b.N; i++ {
+		res, err := RunPlan(prm, rel, func(c *cluster.Cluster) {
+			BuildTwoPhase(c, PlanOptions{})
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Elapsed.Seconds(), "sim-s")
+		}
+	}
+}
+
+func ExampleRunPlan() {
+	prm := params.Implementation()
+	prm.N = 2
+	rel := workload.Uniform(2, 1000, 3, 1)
+	res, err := RunPlan(prm, rel, func(c *cluster.Cluster) {
+		BuildTwoPhase(c, PlanOptions{})
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(res.Groups), "groups")
+	// Output: 3 groups
+}
+
+// TestAggregationOverJoin realizes the paper's Section 2 pipeline: the
+// aggregation's child operator is a join. Each node joins its lineitem
+// partition against an orders relation (semijoin on orderkey), sums the
+// joined prices per order, and the merge phase combines across nodes.
+func TestAggregationOverJoin(t *testing.T) {
+	prm := testParams(4)
+	lineitem := workload.Uniform(4, 4000, 500, 41) // key = orderkey, val = price
+	res, err := RunPlan(prm, lineitem, func(c *cluster.Cluster) {
+		c.Net.AddSenders(c.Prm.N)
+		for _, n := range c.Nodes {
+			// Orders partition: even orderkeys only, one tuple each.
+			var orders []tuple.Tuple
+			for k := tuple.Key(0); k < 500; k += 2 {
+				orders = append(orders, tuple.Tuple{Key: k, Val: 1})
+			}
+			ordersRel := n.Dsk.LoadRelation(orders)
+
+			buildOut := NewPort(c, fmt.Sprintf("build-%d", n.ID))
+			Spawn(c, &Scan{C: c, Node: n, Rel: ordersRel, Out: buildOut})
+			probeOut := NewPort(c, fmt.Sprintf("probe-%d", n.ID))
+			Spawn(c, &Scan{C: c, Node: n, Out: probeOut})
+			joinOut := NewPort(c, fmt.Sprintf("join-%d", n.ID))
+			Spawn(c, &HashJoin{C: c, Node: n, Build: buildOut, Probe: probeOut, Out: joinOut})
+			localOut := NewPort(c, fmt.Sprintf("jlocal-%d", n.ID))
+			Spawn(c, &HashAgg{C: c, Node: n, In: joinOut, Out: localOut, Local: true})
+			Spawn(c, &SplitSend{C: c, Node: n, In: localOut})
+
+			recvOut := NewPort(c, fmt.Sprintf("jrecv-%d", n.ID))
+			Spawn(c, &MergeRecv{C: c, Node: n, Out: recvOut})
+			mergeOut := NewPort(c, fmt.Sprintf("jmerge-%d", n.ID))
+			Spawn(c, &HashAgg{C: c, Node: n, In: recvOut, Out: mergeOut})
+			Spawn(c, &Store{C: c, Node: n, In: mergeOut, NoIO: true})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: aggregate only even-keyed lineitems.
+	want := map[tuple.Key]tuple.AggState{}
+	for _, part := range lineitem.PerNode {
+		for _, tp := range part {
+			if tp.Key%2 != 0 {
+				continue
+			}
+			if s, ok := want[tp.Key]; ok {
+				s.Update(tp.Val)
+				want[tp.Key] = s
+			} else {
+				want[tp.Key] = tuple.NewState(tp.Val)
+			}
+		}
+	}
+	if len(res.Groups) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(res.Groups), len(want))
+	}
+	for k, ws := range want {
+		if res.Groups[k] != ws {
+			t.Fatalf("group %d = %v, want %v", k, res.Groups[k], ws)
+		}
+	}
+}
+
+func TestHashJoinCombine(t *testing.T) {
+	prm := testParams(2)
+	rel := workload.Uniform(2, 100, 10, 47)
+	res, err := RunPlan(prm, rel, func(c *cluster.Cluster) {
+		c.Net.AddSenders(c.Prm.N)
+		for _, n := range c.Nodes {
+			var build []tuple.Tuple
+			for k := tuple.Key(0); k < 10; k++ {
+				build = append(build, tuple.Tuple{Key: k, Val: 1000})
+			}
+			buildRel := n.Dsk.LoadRelation(build)
+			buildOut := NewPort(c, fmt.Sprintf("b-%d", n.ID))
+			Spawn(c, &Scan{C: c, Node: n, Rel: buildRel, Out: buildOut})
+			probeOut := NewPort(c, fmt.Sprintf("p-%d", n.ID))
+			Spawn(c, &Scan{C: c, Node: n, Out: probeOut})
+			joinOut := NewPort(c, fmt.Sprintf("j-%d", n.ID))
+			Spawn(c, &HashJoin{
+				C: c, Node: n, Build: buildOut, Probe: probeOut, Out: joinOut,
+				// Output value = build value + probe value.
+				Combine: func(b, p tuple.Tuple) tuple.Tuple {
+					return tuple.Tuple{Key: p.Key, Val: b.Val + p.Val}
+				},
+			})
+			Spawn(c, &SplitSend{C: c, Node: n, In: joinOut})
+			recvOut := NewPort(c, fmt.Sprintf("r-%d", n.ID))
+			Spawn(c, &MergeRecv{C: c, Node: n, Out: recvOut})
+			mergeOut := NewPort(c, fmt.Sprintf("m-%d", n.ID))
+			Spawn(c, &HashAgg{C: c, Node: n, In: recvOut, Out: mergeOut})
+			Spawn(c, &Store{C: c, Node: n, In: mergeOut, NoIO: true})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every joined value was shifted by 1000; verify one group's sum.
+	ref := rel.Reference()
+	for k, ws := range ref {
+		got, ok := res.Groups[k]
+		if !ok {
+			t.Fatalf("group %d missing", k)
+		}
+		if got.Sum != ws.Sum+1000*ws.Count {
+			t.Fatalf("group %d sum = %d, want %d", k, got.Sum, ws.Sum+1000*ws.Count)
+		}
+	}
+}
+
+func TestAdaptiveTwoPhasePlan(t *testing.T) {
+	prm := testParams(4)
+	// Small groups: never switches, matches 2P behaviour.
+	few := workload.Uniform(4, 4000, 20, 53)
+	res, err := RunPlan(prm, few, func(c *cluster.Cluster) {
+		BuildAdaptiveTwoPhase(c, PlanOptions{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, few, res.Groups)
+	for i, m := range res.Nodes {
+		if m.SwitchedAt >= 0 {
+			t.Errorf("node %d switched on a 20-group workload", i)
+		}
+	}
+	// Large groups: every node switches, answer still exact.
+	many := workload.Uniform(4, 4000, 2000, 54)
+	res, err = RunPlan(prm, many, func(c *cluster.Cluster) {
+		BuildAdaptiveTwoPhase(c, PlanOptions{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, many, res.Groups)
+	for i, m := range res.Nodes {
+		if m.SwitchedAt < 0 {
+			t.Errorf("node %d never switched on a 2000-group workload (M=64)", i)
+		}
+	}
+}
+
+func TestAdaptivePlanBeatsBothTraditionalPlansSomewhere(t *testing.T) {
+	// The operator-plan A-2P must track the winner at both extremes, like
+	// the integrated implementation does.
+	prm := testParams(4)
+	elapsed := func(rel *workload.Relation, build func(*cluster.Cluster)) float64 {
+		res, err := RunPlan(prm, rel, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed.Seconds()
+	}
+	adaptive := func(c *cluster.Cluster) { BuildAdaptiveTwoPhase(c, PlanOptions{}) }
+	twoP := func(c *cluster.Cluster) { BuildTwoPhase(c, PlanOptions{}) }
+	rep := func(c *cluster.Cluster) { BuildRepartition(c, PlanOptions{}) }
+	few := workload.Uniform(4, 6000, 5, 55)
+	if a, r := elapsed(few, adaptive), elapsed(few, rep); a >= r {
+		t.Errorf("few groups: A-2P plan (%v) should beat Rep plan (%v)", a, r)
+	}
+	many := workload.Uniform(4, 6000, 3000, 56)
+	if a, tp := elapsed(many, adaptive), elapsed(many, twoP); a >= tp {
+		t.Errorf("many groups: A-2P plan (%v) should beat 2P plan (%v)", a, tp)
+	}
+}

@@ -1,0 +1,111 @@
+package exec
+
+import (
+	"fmt"
+
+	"parallelagg/internal/cluster"
+	"parallelagg/internal/des"
+	"parallelagg/internal/params"
+	"parallelagg/internal/tuple"
+	"parallelagg/internal/workload"
+)
+
+// PlanOptions configures the pre-assembled aggregation plans.
+type PlanOptions struct {
+	// SortBased replaces the hash aggregation operators with SortAgg —
+	// the Bitton et al. sort-based alternative.
+	SortBased bool
+	// NoIO suppresses the result-store write.
+	NoIO bool
+	// Filter, if set, is applied between the scan and the first
+	// aggregation or split (a WHERE clause).
+	Filter func(tuple.Tuple) bool
+}
+
+// aggOp builds the configured aggregation operator.
+func aggOp(c *cluster.Cluster, n *cluster.Node, in, out *Port, local bool, opt PlanOptions) Operator {
+	if opt.SortBased {
+		return &SortAgg{C: c, Node: n, In: in, Out: out}
+	}
+	return &HashAgg{C: c, Node: n, In: in, Out: out, Local: local}
+}
+
+// maybeFilter inserts a Filter operator when opt.Filter is set, returning
+// the port the downstream operator should read.
+func maybeFilter(c *cluster.Cluster, n *cluster.Node, in *Port, opt PlanOptions) *Port {
+	if opt.Filter == nil {
+		return in
+	}
+	out := NewPort(c, fmt.Sprintf("filtered-%d", n.ID))
+	Spawn(c, &Filter{C: c, Node: n, Pred: opt.Filter, In: in, Out: out})
+	return out
+}
+
+// BuildTwoPhase assembles the Two Phase plan on every node:
+//
+//	Scan → [Filter] → Agg(local) → SplitSend ⇒ MergeRecv → Agg(merge) → Store
+func BuildTwoPhase(c *cluster.Cluster, opt PlanOptions) {
+	c.Net.AddSenders(c.Prm.N)
+	for _, n := range c.Nodes {
+		scanOut := NewPort(c, fmt.Sprintf("scan-out-%d", n.ID))
+		Spawn(c, &Scan{C: c, Node: n, Out: scanOut})
+		aggIn := maybeFilter(c, n, scanOut, opt)
+		localOut := NewPort(c, fmt.Sprintf("local-out-%d", n.ID))
+		Spawn(c, aggOp(c, n, aggIn, localOut, true, opt))
+		Spawn(c, &SplitSend{C: c, Node: n, In: localOut})
+
+		recvOut := NewPort(c, fmt.Sprintf("recv-out-%d", n.ID))
+		Spawn(c, &MergeRecv{C: c, Node: n, Out: recvOut})
+		mergeOut := NewPort(c, fmt.Sprintf("merge-out-%d", n.ID))
+		Spawn(c, aggOp(c, n, recvOut, mergeOut, false, opt))
+		Spawn(c, &Store{C: c, Node: n, In: mergeOut, NoIO: opt.NoIO})
+	}
+}
+
+// BuildRepartition assembles the Repartitioning plan on every node:
+//
+//	Scan → [Filter] → SplitSend ⇒ MergeRecv → Agg(merge) → Store
+func BuildRepartition(c *cluster.Cluster, opt PlanOptions) {
+	c.Net.AddSenders(c.Prm.N)
+	for _, n := range c.Nodes {
+		scanOut := NewPort(c, fmt.Sprintf("scan-out-%d", n.ID))
+		Spawn(c, &Scan{C: c, Node: n, Out: scanOut})
+		splitIn := maybeFilter(c, n, scanOut, opt)
+		Spawn(c, &SplitSend{C: c, Node: n, In: splitIn})
+
+		recvOut := NewPort(c, fmt.Sprintf("recv-out-%d", n.ID))
+		Spawn(c, &MergeRecv{C: c, Node: n, Out: recvOut})
+		mergeOut := NewPort(c, fmt.Sprintf("merge-out-%d", n.ID))
+		Spawn(c, aggOp(c, n, recvOut, mergeOut, false, opt))
+		Spawn(c, &Store{C: c, Node: n, In: mergeOut, NoIO: opt.NoIO})
+	}
+}
+
+// PlanResult is the outcome of one operator-plan execution.
+type PlanResult struct {
+	Groups  map[tuple.Key]tuple.AggState
+	Elapsed des.Duration
+	Nodes   []cluster.NodeMetrics
+}
+
+// RunPlan builds a cluster for rel, lets build assemble an operator plan on
+// it, runs the simulation and returns the result. The result is NOT
+// checked against a reference (plans may filter); use workload.Relation's
+// Reference for unfiltered plans.
+func RunPlan(prm params.Params, rel *workload.Relation, build func(*cluster.Cluster)) (*PlanResult, error) {
+	prm.Tuples = rel.Tuples()
+	c, err := cluster.New(prm, rel)
+	if err != nil {
+		return nil, err
+	}
+	build(c)
+	if err := c.Sim.Run(); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	res := &PlanResult{Groups: c.Result, Elapsed: c.Elapsed()}
+	for _, n := range c.Nodes {
+		n.Snapshot()
+		res.Nodes = append(res.Nodes, n.Metrics)
+	}
+	return res, nil
+}

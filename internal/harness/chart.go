@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// chartMarkers identify series in RenderChart, in order.
+const chartMarkers = "123456789abcdef"
+
+// RenderChart draws the experiment as an ASCII line chart: X is the swept
+// parameter (log-scaled when it spans more than two decades, as the
+// paper's group-count axes do), Y is seconds (linear from zero). Each
+// series plots with its own marker digit; the legend maps markers to
+// series names. width and height are the plot-area size in characters
+// (minimums 16×8 are enforced).
+func (e *Experiment) RenderChart(w io.Writer, width, height int) error {
+	if width < 16 {
+		width = 16
+	}
+	if height < 8 {
+		height = 8
+	}
+	xs := e.xs()
+	if len(xs) == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	minX, maxX := xs[0], xs[len(xs)-1]
+	logX := minX > 0 && maxX/math.Max(minX, 1e-12) > 100
+	xpos := func(x float64) int {
+		if maxX == minX {
+			return 0
+		}
+		var f float64
+		if logX {
+			f = (math.Log10(x) - math.Log10(minX)) / (math.Log10(maxX) - math.Log10(minX))
+		} else {
+			f = (x - minX) / (maxX - minX)
+		}
+		c := int(f * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c > width-1 {
+			c = width - 1
+		}
+		return c
+	}
+
+	maxY := 0.0
+	for _, s := range e.Series {
+		for _, p := range s.Points {
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	ypos := func(y float64) int {
+		f := y / maxY
+		r := int(f * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r > height-1 {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 is the top
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range e.Series {
+		mark := chartMarkers[si%len(chartMarkers)]
+		for _, p := range s.Points {
+			r, c := ypos(p.Y), xpos(p.X)
+			if grid[r][c] == ' ' {
+				grid[r][c] = mark
+			} else if grid[r][c] != mark {
+				grid[r][c] = '*' // collision of two series
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title); err != nil {
+		return err
+	}
+	yTop := fmt.Sprintf("%.1f", maxY)
+	pad := len(yTop)
+	for i, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if i == 0 {
+			label = yTop
+		}
+		if i == height-1 {
+			label = fmt.Sprintf("%*.1f", pad, 0.0)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	scale := "linear"
+	if logX {
+		scale = "log"
+	}
+	fmt.Fprintf(w, "%s  %-*s%s\n", strings.Repeat(" ", pad), width-len(formatX(maxX)), formatX(minX), formatX(maxX))
+	fmt.Fprintf(w, "%s  (%s, %s scale; Y in seconds)\n", strings.Repeat(" ", pad), e.XLabel, scale)
+	for si, s := range e.Series {
+		fmt.Fprintf(w, "%s  %c = %s\n", strings.Repeat(" ", pad), chartMarkers[si%len(chartMarkers)], s.Name)
+	}
+	return nil
+}

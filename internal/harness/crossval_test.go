@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"parallelagg/internal/core"
+	"parallelagg/internal/cost"
+	"parallelagg/internal/workload"
+)
+
+// TestModelAndSimulatorAgreeOnCrossover cross-validates the two
+// evaluation substrates: the analytical model's 2P/Rep crossover
+// selectivity and the discrete-event simulator's must land within an order
+// of magnitude of each other on the same configuration. This is the
+// paper's own validation argument ("the algorithms performed almost as
+// expected from the analytical model") made mechanical.
+func TestModelAndSimulatorAgreeOnCrossover(t *testing.T) {
+	r := NewRunner(0.05, 1)
+	prm := r.simParams()
+
+	// Crossover per substrate: the smallest swept group count where Rep
+	// beats 2P.
+	sweep := simGroupSweep(prm)
+	m := cost.New(prm)
+	modelCross := -1.0
+	for _, g := range sweep {
+		s := float64(g) / float64(prm.Tuples)
+		if m.Rep(s).Total() < m.TwoPhase(s).Total() {
+			modelCross = float64(g)
+			break
+		}
+	}
+	simCross := -1.0
+	for i, g := range sweep {
+		rel := workload.Uniform(prm.N, prm.Tuples, g, r.Seed+int64(i))
+		twoP, err := core.Run(prm, rel, core.TwoPhase, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := core.Run(prm, workload.Uniform(prm.N, prm.Tuples, g, r.Seed+int64(i)), core.Rep, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Elapsed < twoP.Elapsed {
+			simCross = float64(g)
+			break
+		}
+	}
+	if modelCross < 0 || simCross < 0 {
+		t.Fatalf("no crossover found: model %v, sim %v", modelCross, simCross)
+	}
+	ratio := modelCross / simCross
+	if ratio < 1 {
+		ratio = 1 / ratio
+	}
+	if ratio > 16 {
+		t.Errorf("model crossover at %v groups, simulator at %v (ratio %.1f): substrates disagree",
+			modelCross, simCross, ratio)
+	}
+	t.Logf("2P/Rep crossover: model %v groups, simulator %v groups", modelCross, simCross)
+}
+
+// TestModelAndSimulatorAgreeOnMagnitude: for a configuration both
+// substrates model identically (Ethernet, mid selectivity), total times
+// should agree within a small factor — they charge the same Table 1 costs.
+func TestModelAndSimulatorAgreeOnMagnitude(t *testing.T) {
+	r := NewRunner(0.05, 1)
+	prm := r.simParams()
+	g := int64(prm.HashEntries) / 2 // no overflow anywhere; cleanest comparison
+	s := float64(g) / float64(prm.Tuples)
+
+	rel := workload.Uniform(prm.N, prm.Tuples, g, 5)
+	sim, err := core.Run(prm, rel, core.TwoPhase, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cost.New(prm).TwoPhase(s).Total()
+	simSec := sim.Elapsed.Seconds()
+	ratio := math.Max(model/simSec, simSec/model)
+	if ratio > 2.5 {
+		t.Errorf("2P at %d groups: model %.2fs vs simulator %.2fs (ratio %.2f)", g, model, simSec, ratio)
+	}
+	t.Logf("2P at %d groups: model %.2fs, simulator %.2fs", g, model, simSec)
+}

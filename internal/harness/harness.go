@@ -1,0 +1,283 @@
+// Package harness defines one experiment per table/figure of the paper's
+// evaluation and regenerates its data: Figures 1–7 from the analytical cost
+// models (internal/cost), Figures 8–9 from the discrete-event cluster
+// implementation (internal/core). Each experiment carries machine-checkable
+// shape assertions — who wins, where the crossovers fall — mirroring the
+// qualitative claims in the paper.
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Point is one measurement: X is the swept parameter (group count, node
+// count or sample size), Y the modelled or simulated time in seconds.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one curve of an experiment.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Y returns the Y value at x, or an error if the series has no such point.
+func (s *Series) Y(x float64) (float64, error) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, nil
+		}
+	}
+	return 0, fmt.Errorf("series %s has no point at x=%v", s.Name, x)
+}
+
+// Experiment is one regenerated table/figure.
+type Experiment struct {
+	ID     string // "fig1" … "fig9"
+	Title  string
+	XLabel string
+	YLabel string
+	Notes  string
+	Series []Series
+}
+
+// Get returns the named series.
+func (e *Experiment) Get(name string) (*Series, error) {
+	for i := range e.Series {
+		if e.Series[i].Name == name {
+			return &e.Series[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%s: no series %q", e.ID, name)
+}
+
+// xs returns the sorted union of all X values across the series.
+func (e *Experiment) xs() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range e.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// Render writes the experiment as an aligned text table, one row per X
+// value and one column per series — the same rows/series the paper plots.
+func (e *Experiment) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title); err != nil {
+		return err
+	}
+	if e.Notes != "" {
+		fmt.Fprintf(w, "   %s\n", e.Notes)
+	}
+	cols := []string{e.XLabel}
+	for _, s := range e.Series {
+		cols = append(cols, s.Name)
+	}
+	rows := [][]string{cols}
+	for _, x := range e.xs() {
+		row := []string{formatX(x)}
+		for _, s := range e.Series {
+			y, err := s.Y(x)
+			if err != nil {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2f", y))
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(cols))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+		if ri == 0 {
+			fmt.Fprintln(w, strings.Repeat("-", len(b.String())))
+		}
+	}
+	_, err := fmt.Fprintln(w, "   (Y values in seconds of modelled/simulated time)")
+	return err
+}
+
+// RenderCSV writes the experiment as CSV (header row, then one row per X
+// value), ready for any plotting tool. Missing points are empty cells.
+func (e *Experiment) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{e.XLabel}
+	for _, s := range e.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, x := range e.xs() {
+		row := []string{formatX(x)}
+		for _, s := range e.Series {
+			y, err := s.Y(x)
+			if err != nil {
+				row = append(row, "")
+				continue
+			}
+			row = append(row, strconv.FormatFloat(y, 'f', 4, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderMarkdown writes the experiment as a GitHub-flavoured markdown
+// section (title, notes, table) — the format EXPERIMENTS.md records.
+func (e *Experiment) RenderMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", e.ID, e.Title); err != nil {
+		return err
+	}
+	if e.Notes != "" {
+		fmt.Fprintf(w, "%s\n\n", e.Notes)
+	}
+	fmt.Fprintf(w, "| %s |", e.XLabel)
+	for _, s := range e.Series {
+		fmt.Fprintf(w, " %s |", s.Name)
+	}
+	fmt.Fprint(w, "\n|")
+	for i := 0; i <= len(e.Series); i++ {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, x := range e.xs() {
+		fmt.Fprintf(w, "| %s |", formatX(x))
+		for _, s := range e.Series {
+			y, err := s.Y(x)
+			if err != nil {
+				fmt.Fprint(w, " |")
+				continue
+			}
+			fmt.Fprintf(w, " %.2f |", y)
+		}
+		fmt.Fprintln(w)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func formatX(x float64) string {
+	if x == float64(int64(x)) && x < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// Runner generates experiments. Scale shrinks the simulated (Figure 8/9)
+// workloads: Scale 1 is the paper's 2M-tuple implementation study, Scale
+// 0.125 a 250K-tuple quick run with the same shape. Model figures (1–7)
+// always use the paper's full parameters — they are closed-form and free.
+type Runner struct {
+	Scale float64
+	Seed  int64
+}
+
+// NewRunner returns a Runner with the given scale (0 means 0.125, the
+// quick default) and seed (0 means 1).
+func NewRunner(scale float64, seed int64) Runner {
+	if scale == 0 {
+		scale = 0.125
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return Runner{Scale: scale, Seed: seed}
+}
+
+// IDs lists the paper-figure experiment identifiers in paper order.
+func IDs() []string {
+	return []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+}
+
+// ExtIDs lists the extension experiments: follow-ups to the paper's
+// discussion sections that it analyses but does not plot.
+func ExtIDs() []string {
+	return []string{"ext-opt", "ext-sort", "ext-inputskew", "ext-bcast", "ext-simscaleup"}
+}
+
+// AllIDs lists every regenerable experiment: the paper's figures followed
+// by the extensions.
+func AllIDs() []string { return append(IDs(), ExtIDs()...) }
+
+// Figure regenerates one experiment by ID.
+func (r Runner) Figure(id string) (*Experiment, error) {
+	switch id {
+	case "fig1":
+		return r.Fig1(), nil
+	case "fig2":
+		return r.Fig2(), nil
+	case "fig3":
+		return r.Fig3(), nil
+	case "fig4":
+		return r.Fig4(), nil
+	case "fig5":
+		return r.Fig5(), nil
+	case "fig6":
+		return r.Fig6(), nil
+	case "fig7":
+		return r.Fig7(), nil
+	case "fig8":
+		return r.Fig8()
+	case "fig9":
+		return r.Fig9()
+	case "ext-opt":
+		return r.ExtOpt(), nil
+	case "ext-sort":
+		return r.ExtSort()
+	case "ext-inputskew":
+		return r.ExtInputSkew()
+	case "ext-bcast":
+		return r.ExtBcast()
+	case "ext-simscaleup":
+		return r.ExtSimScaleup()
+	default:
+		return nil, fmt.Errorf("harness: unknown experiment %q (want %s)", id, strings.Join(AllIDs(), ", "))
+	}
+}
+
+// All regenerates every experiment, paper figures and extensions.
+func (r Runner) All() ([]*Experiment, error) {
+	var out []*Experiment
+	for _, id := range AllIDs() {
+		e, err := r.Figure(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"fmt"
+
+	"parallelagg/internal/core"
+	"parallelagg/internal/params"
+	"parallelagg/internal/workload"
+)
+
+// simParams returns the Section 5 implementation configuration scaled by
+// r.Scale. Both the tuple count AND the memory budget M scale, so the
+// ratio of per-node data to hash-table capacity — which determines where
+// overflow starts and where the adaptive switches fire — matches the
+// paper's full-size study at every scale.
+func (r Runner) simParams() params.Params {
+	prm := params.Implementation()
+	prm.Tuples = int64(float64(prm.Tuples) * r.Scale)
+	if prm.Tuples < int64(prm.N) {
+		prm.Tuples = int64(prm.N)
+	}
+	prm.HashEntries = int(float64(prm.HashEntries) * r.Scale)
+	if prm.HashEntries < 4 {
+		prm.HashEntries = 4
+	}
+	return prm
+}
+
+// simGroupSweep picks group counts spanning scalar aggregation to
+// duplicate elimination for the scaled relation, crossing the memory size M
+// where the interesting transitions happen.
+func simGroupSweep(prm params.Params) []int64 {
+	t := prm.Tuples
+	m := int64(prm.HashEntries)
+	candidates := []int64{1, 100, m / 4, m, 4 * m, t / 4, t / 2}
+	var gs []int64
+	var last int64 = -1
+	for _, g := range candidates {
+		if g < 1 {
+			g = 1
+		}
+		if g > t/2 {
+			g = t / 2
+		}
+		if g > last {
+			gs = append(gs, g)
+			last = g
+		}
+	}
+	return gs
+}
+
+// simFigAlgorithms is the lineup of Figure 8/9: the two practical
+// traditional algorithms plus the three proposed ones.
+var simFigAlgorithms = []core.Algorithm{
+	core.TwoPhase, core.Rep, core.Samp, core.A2P, core.ARep,
+}
+
+// runSim executes one algorithm over one relation and returns the
+// simulated completion time in seconds.
+func runSim(prm params.Params, rel *workload.Relation, alg core.Algorithm, seed int64) (float64, error) {
+	res, err := core.Run(prm, rel, alg, core.Options{Seed: seed})
+	if err != nil {
+		return 0, fmt.Errorf("%v over %s: %w", alg, rel.Name, err)
+	}
+	return res.Elapsed.Seconds(), nil
+}
+
+// Fig8 regenerates Figure 8: the cluster implementation's relative
+// performance — all five algorithms over uniformly distributed relations,
+// 8 nodes on Ethernet.
+func (r Runner) Fig8() (*Experiment, error) {
+	prm := r.simParams()
+	e := &Experiment{
+		ID:     "fig8",
+		Title:  fmt.Sprintf("Implementation results (8 nodes, Ethernet, %d tuples)", prm.Tuples),
+		XLabel: "groups",
+		YLabel: "seconds",
+		Notes:  "Discrete-event execution of the real algorithms; virtual time.",
+	}
+	sweep := simGroupSweep(prm)
+	rels := make([]*workload.Relation, len(sweep))
+	for i, g := range sweep {
+		rels[i] = workload.Uniform(prm.N, prm.Tuples, g, r.Seed+int64(i))
+	}
+	for _, alg := range simFigAlgorithms {
+		s := Series{Name: alg.String()}
+		for i, g := range sweep {
+			y, err := runSim(prm, rels[i], alg, r.Seed)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: float64(g), Y: y})
+		}
+		e.Series = append(e.Series, s)
+	}
+	return e, nil
+}
+
+// Fig9 regenerates Figure 9: performance under output skew — half the
+// nodes hold a single group each, the other half hold everything else.
+func (r Runner) Fig9() (*Experiment, error) {
+	prm := r.simParams()
+	e := &Experiment{
+		ID:     "fig9",
+		Title:  fmt.Sprintf("Performance under output skew (8 nodes, Ethernet, %d tuples)", prm.Tuples),
+		XLabel: "groups",
+		YLabel: "seconds",
+		Notes:  "Half the nodes hold one group each; adaptive nodes choose per-node strategies.",
+	}
+	// Group counts chosen so the unskewed nodes overflow memory while the
+	// skewed ones never do — the regime where per-node adaptivity pays.
+	m := int64(prm.HashEntries)
+	var sweep []int64
+	for _, g := range []int64{m, 2 * m, 4 * m, 8 * m} {
+		if g <= prm.Tuples/2 {
+			sweep = append(sweep, g)
+		}
+	}
+	if len(sweep) == 0 {
+		sweep = []int64{prm.Tuples / 2}
+	}
+	rels := make([]*workload.Relation, len(sweep))
+	for i, g := range sweep {
+		rels[i] = workload.OutputSkew(prm.N, prm.Tuples, g, r.Seed+int64(i))
+	}
+	for _, alg := range simFigAlgorithms {
+		s := Series{Name: alg.String()}
+		for i, g := range sweep {
+			y, err := runSim(prm, rels[i], alg, r.Seed)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: float64(g), Y: y})
+		}
+		e.Series = append(e.Series, s)
+	}
+	return e, nil
+}

@@ -1,0 +1,197 @@
+package hashtab
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parallelagg/internal/tuple"
+)
+
+func TestUpdateRawInsertAndUpdate(t *testing.T) {
+	tb := New(2)
+	if !tb.UpdateRaw(tuple.Tuple{Key: 1, Val: 10}) {
+		t.Fatal("first insert rejected")
+	}
+	if !tb.UpdateRaw(tuple.Tuple{Key: 1, Val: 5}) {
+		t.Fatal("update of existing group rejected")
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tb.Len())
+	}
+	ps := tb.Partials()
+	if len(ps) != 1 || ps[0].State.Count != 2 || ps[0].State.Sum != 15 {
+		t.Errorf("Partials = %v", ps)
+	}
+}
+
+func TestFullTableRejectsNewGroupsButUpdatesExisting(t *testing.T) {
+	tb := New(2)
+	tb.UpdateRaw(tuple.Tuple{Key: 1, Val: 1})
+	tb.UpdateRaw(tuple.Tuple{Key: 2, Val: 2})
+	if !tb.Full() {
+		t.Fatal("table should be full")
+	}
+	if tb.UpdateRaw(tuple.Tuple{Key: 3, Val: 3}) {
+		t.Error("insert into full table accepted")
+	}
+	if !tb.UpdateRaw(tuple.Tuple{Key: 1, Val: 100}) {
+		t.Error("update of resident group rejected when full")
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tb.Len())
+	}
+}
+
+func TestMergePartial(t *testing.T) {
+	tb := New(10)
+	tb.UpdateRaw(tuple.Tuple{Key: 7, Val: 3})
+	ok := tb.MergePartial(tuple.Partial{Key: 7, State: tuple.AggState{Count: 2, Sum: 10, SumSq: 52, Min: -1, Max: 11}})
+	if !ok {
+		t.Fatal("merge rejected")
+	}
+	ps := tb.Partials()
+	want := tuple.AggState{Count: 3, Sum: 13, SumSq: 61, Min: -1, Max: 11}
+	if ps[0].State != want {
+		t.Errorf("state = %v, want %v", ps[0].State, want)
+	}
+}
+
+func TestDrainEmptiesAndSorts(t *testing.T) {
+	tb := New(10)
+	for _, k := range []tuple.Key{5, 1, 9, 3} {
+		tb.UpdateRaw(tuple.Tuple{Key: k, Val: int64(k)})
+	}
+	ps := tb.Drain()
+	if tb.Len() != 0 {
+		t.Error("Drain did not empty the table")
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Key >= ps[i].Key {
+			t.Errorf("Drain output not sorted: %v", ps)
+		}
+	}
+	// Table is reusable after Drain.
+	if !tb.UpdateRaw(tuple.Tuple{Key: 42, Val: 1}) {
+		t.Error("insert after Drain rejected")
+	}
+}
+
+func TestEvictBuckets(t *testing.T) {
+	tb := New(1000)
+	const nb = 4
+	for k := tuple.Key(0); k < 100; k++ {
+		tb.UpdateRaw(tuple.Tuple{Key: k, Val: 1})
+	}
+	evicted := tb.EvictBuckets(nb)
+	if evicted[0] != nil {
+		t.Error("bucket 0 must stay resident")
+	}
+	// Every surviving key is in bucket 0; every evicted key is in its bucket.
+	for _, p := range tb.Partials() {
+		if p.Key.Bucket(nb) != 0 {
+			t.Errorf("resident key %d in bucket %d", p.Key, p.Key.Bucket(nb))
+		}
+	}
+	total := tb.Len()
+	for b := 1; b < nb; b++ {
+		for _, p := range evicted[b] {
+			if p.Key.Bucket(nb) != b {
+				t.Errorf("key %d evicted to bucket %d, belongs in %d", p.Key, b, p.Key.Bucket(nb))
+			}
+		}
+		total += len(evicted[b])
+	}
+	if total != 100 {
+		t.Errorf("entries after eviction = %d, want 100", total)
+	}
+}
+
+func TestCapacityOnePanicsAtZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+// Property: for any tuple stream that fits in capacity, the table computes
+// exactly the sequential reference aggregation.
+func TestTableMatchesReferenceProperty(t *testing.T) {
+	f := func(raw []struct {
+		K uint8
+		V int16
+	}) bool {
+		tb := New(256) // 256 possible keys always fit
+		ref := map[tuple.Key]tuple.AggState{}
+		for _, r := range raw {
+			tp := tuple.Tuple{Key: tuple.Key(r.K), Val: int64(r.V)}
+			if !tb.UpdateRaw(tp) {
+				return false
+			}
+			if s, ok := ref[tp.Key]; ok {
+				s.Update(tp.Val)
+				ref[tp.Key] = s
+			} else {
+				ref[tp.Key] = tuple.NewState(tp.Val)
+			}
+		}
+		ps := tb.Partials()
+		if len(ps) != len(ref) {
+			return false
+		}
+		for _, p := range ps {
+			if ref[p.Key] != p.State {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: splitting a stream in two, aggregating each half in its own
+// table, then merging the drained partials of one into the other, equals
+// aggregating the whole stream in one table. This is the two-phase
+// correctness argument.
+func TestTwoPhaseEqualsOnePhaseProperty(t *testing.T) {
+	f := func(a, b []struct {
+		K uint8
+		V int16
+	}) bool {
+		one := New(512)
+		ta, tbl := New(512), New(512)
+		for _, r := range a {
+			tp := tuple.Tuple{Key: tuple.Key(r.K), Val: int64(r.V)}
+			one.UpdateRaw(tp)
+			ta.UpdateRaw(tp)
+		}
+		for _, r := range b {
+			tp := tuple.Tuple{Key: tuple.Key(r.K), Val: int64(r.V)}
+			one.UpdateRaw(tp)
+			tbl.UpdateRaw(tp)
+		}
+		merged := New(512)
+		for _, p := range ta.Drain() {
+			merged.MergePartial(p)
+		}
+		for _, p := range tbl.Drain() {
+			merged.MergePartial(p)
+		}
+		got, want := merged.Partials(), one.Partials()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

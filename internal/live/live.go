@@ -1,0 +1,479 @@
+// Package live is a real parallel aggregation engine: the same algorithms
+// as internal/core, executed with actual goroutines and channels on the
+// host machine instead of on the simulated cluster. Workers play the role
+// of nodes, channel exchanges the role of the interconnect, and a bounded
+// hash table the role of the memory budget; overflow "spills" are buffered
+// in memory (a real system would spool them to disk).
+//
+// The engine exists for two reasons. First, it is the artifact a user of
+// this library most likely wants: a fast multicore GROUP BY. Second, it
+// demonstrates the paper's central claim outside the simulator — the
+// adaptive algorithms' per-worker switching works with real concurrency,
+// real channel backpressure and real memory pressure, with no global
+// synchronization.
+//
+// Each worker runs two goroutines, mirroring the Gamma operator split: a
+// scan side that aggregates or routes its partition, and a merge side that
+// owns the groups hashing to the worker and consumes the exchange from the
+// moment the query starts (so bounded exchange channels provide
+// backpressure without deadlock).
+package live
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"parallelagg/internal/tuple"
+)
+
+// Algorithm selects the parallel strategy. The disk-centric members of the
+// paper's lineup (C-2P's coordinator and the Sampling front-end) are
+// omitted: with the relation already in memory, sampling saves nothing and
+// a centralized merge is strictly worse than the parallel one.
+type Algorithm int
+
+const (
+	// TwoPhase: each worker aggregates its partition locally, then the
+	// partials are hash-partitioned and merged in parallel.
+	TwoPhase Algorithm = iota
+	// Repartitioning: raw tuples are hash-partitioned first; each worker
+	// aggregates only the groups it owns.
+	Repartitioning
+	// AdaptiveTwoPhase: start as TwoPhase; a worker whose local table
+	// fills flushes its partials and repartitions the rest raw.
+	AdaptiveTwoPhase
+	// AdaptiveRepartitioning: start as Repartitioning; a worker that sees
+	// too few distinct groups in its first InitSeg tuples raises a shared
+	// flag and every worker falls back to the AdaptiveTwoPhase strategy.
+	AdaptiveRepartitioning
+)
+
+// String returns the paper's abbreviation.
+func (a Algorithm) String() string {
+	switch a {
+	case TwoPhase:
+		return "2P"
+	case Repartitioning:
+		return "Rep"
+	case AdaptiveTwoPhase:
+		return "A-2P"
+	case AdaptiveRepartitioning:
+		return "A-Rep"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Algorithms lists the implemented strategies.
+func Algorithms() []Algorithm {
+	return []Algorithm{TwoPhase, Repartitioning, AdaptiveTwoPhase, AdaptiveRepartitioning}
+}
+
+// Config tunes the engine. The zero value is usable: GOMAXPROCS workers,
+// unbounded tables (no adaptive behaviour), 4096-tuple batches.
+type Config struct {
+	// Workers is the number of parallel workers (paper: nodes). Default:
+	// runtime.GOMAXPROCS(0).
+	Workers int
+
+	// TableEntries bounds each worker's local hash table, triggering the
+	// overflow behaviour of the chosen algorithm (spill passes for
+	// TwoPhase, the switch for AdaptiveTwoPhase). 0 means unbounded.
+	TableEntries int
+
+	// Batch is the number of tuples or partials per exchanged message.
+	// Default 4096.
+	Batch int
+
+	// InitSeg and SwitchRatio drive AdaptiveRepartitioning's fallback,
+	// with the same meaning as core.Options. Defaults: 4096 and 0.1.
+	InitSeg     int
+	SwitchRatio float64
+
+	// SpillToDisk spools TwoPhase overflow to real temporary files instead
+	// of an in-memory buffer, making the TableEntries bound a true memory
+	// bound. SpillDir selects the directory ("" = the OS temp dir).
+	SpillToDisk bool
+	SpillDir    string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Batch <= 0 {
+		c.Batch = 4096
+	}
+	if c.InitSeg <= 0 {
+		c.InitSeg = 4096
+	}
+	if c.SwitchRatio <= 0 {
+		c.SwitchRatio = 0.1
+	}
+	return c
+}
+
+// WorkerMetrics records one worker's activity.
+type WorkerMetrics struct {
+	Scanned      int64 // tuples this worker's scan side processed
+	Routed       int64 // raw tuples shipped to other workers
+	PartialsSent int64 // partial aggregates shipped
+	Spilled      int64 // tuples that left the bounded table (memory or disk)
+	GroupsOut    int64 // result groups this worker's merge side produced
+	Switched     bool  // the adaptive switch fired
+}
+
+// Result is the outcome of one parallel aggregation.
+type Result struct {
+	Groups    map[tuple.Key]tuple.AggState
+	Switched  int // workers that changed strategy mid-run
+	PerWorker []WorkerMetrics
+}
+
+// message is one exchange batch between workers.
+type message struct {
+	raw  []tuple.Tuple
+	part []tuple.Partial
+}
+
+// Aggregate runs alg over the tuples with cfg.Workers parallel workers and
+// returns the merged groups. The input slice is read-only; it is sliced
+// into one contiguous partition per worker.
+func Aggregate(cfg Config, tuples []tuple.Tuple, alg Algorithm) (*Result, error) {
+	cfg = cfg.withDefaults()
+	return AggregatePartitioned(cfg, partition(tuples, cfg.Workers), alg)
+}
+
+// AggregatePartitioned is Aggregate with caller-controlled placement: one
+// input slice per worker (len(parts) overrides cfg.Workers). Use it to
+// reproduce the paper's skew scenarios on the live engine.
+func AggregatePartitioned(cfg Config, parts [][]tuple.Tuple, alg Algorithm) (*Result, error) {
+	cfg = cfg.withDefaults()
+	w := len(parts)
+	if w == 0 {
+		return &Result{Groups: map[tuple.Key]tuple.AggState{}}, nil
+	}
+	cfg.Workers = w
+	switch alg {
+	case TwoPhase, Repartitioning, AdaptiveTwoPhase, AdaptiveRepartitioning:
+	default:
+		return nil, fmt.Errorf("live: unknown algorithm %v", alg)
+	}
+
+	inboxes := make([]chan message, w)
+	for i := range inboxes {
+		inboxes[i] = make(chan message, 2*w)
+	}
+	var scanners sync.WaitGroup
+	scanners.Add(w)
+	go func() {
+		// Once every scan side is done, no more exchange traffic can
+		// appear: let the merge sides drain and finish.
+		scanners.Wait()
+		for _, ch := range inboxes {
+			close(ch)
+		}
+	}()
+
+	results := make([]map[tuple.Key]tuple.AggState, w)
+	metrics := make([]WorkerMetrics, w)
+	switched := make([]bool, w)
+	errs := make([]error, w)
+	var fallback atomic.Bool // ARep's broadcast "end-of-phase" flag
+
+	var all sync.WaitGroup
+	for i := 0; i < w; i++ {
+		i := i
+		wk := &worker{id: i, cfg: cfg, alg: alg, inboxes: inboxes, fallback: &fallback, m: &metrics[i]}
+		all.Add(2)
+		go func() {
+			defer all.Done()
+			defer scanners.Done()
+			switched[i], errs[i] = wk.scanSide(parts[i])
+		}()
+		go func() {
+			defer all.Done()
+			results[i] = wk.mergeSide(inboxes[i])
+			metrics[i].GroupsOut = int64(len(results[i]))
+		}()
+	}
+	all.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	merged := make(map[tuple.Key]tuple.AggState, total)
+	for wi, r := range results {
+		for k, s := range r {
+			if _, dup := merged[k]; dup {
+				return nil, fmt.Errorf("live: group %d produced by two workers (second: %d)", k, wi)
+			}
+			merged[k] = s
+		}
+	}
+	res := &Result{Groups: merged, PerWorker: metrics}
+	for i, sw := range switched {
+		if sw {
+			res.Switched++
+			res.PerWorker[i].Switched = true
+		}
+	}
+	return res, nil
+}
+
+// partition slices tuples into w near-equal contiguous parts.
+func partition(tuples []tuple.Tuple, w int) [][]tuple.Tuple {
+	parts := make([][]tuple.Tuple, w)
+	per := len(tuples) / w
+	rem := len(tuples) % w
+	off := 0
+	for i := 0; i < w; i++ {
+		n := per
+		if i < rem {
+			n++
+		}
+		parts[i] = tuples[off : off+n]
+		off += n
+	}
+	return parts
+}
+
+// worker is one parallel participant.
+type worker struct {
+	id       int
+	cfg      Config
+	alg      Algorithm
+	inboxes  []chan message
+	fallback *atomic.Bool
+	m        *WorkerMetrics
+
+	outRaw  [][]tuple.Tuple
+	outPart [][]tuple.Partial
+}
+
+type workerMode int
+
+const (
+	modeLocal workerMode = iota
+	modeRoute
+)
+
+// scanSide aggregates or routes this worker's partition, reporting whether
+// it switched strategy.
+func (wk *worker) scanSide(part []tuple.Tuple) (switchedOut bool, err error) {
+	w := wk.cfg.Workers
+	wk.outRaw = make([][]tuple.Tuple, w)
+	wk.outPart = make([][]tuple.Partial, w)
+
+	local := make(map[tuple.Key]tuple.AggState)
+	bound := wk.cfg.TableEntries
+	mode := modeLocal
+	if wk.alg == Repartitioning || wk.alg == AdaptiveRepartitioning {
+		mode = modeRoute
+	}
+	switched := false
+	var spill spillStore // plain 2P's overflow buffer (memory or real disk)
+	defer func() {
+		if spill != nil {
+			spill.close()
+		}
+	}()
+
+	// ARep observation state.
+	observing := wk.alg == AdaptiveRepartitioning
+	obsSeen := 0
+	obsGroups := make(map[tuple.Key]struct{})
+	threshold := int(wk.cfg.SwitchRatio * float64(wk.cfg.InitSeg))
+	if threshold < 1 {
+		threshold = 1
+	}
+
+	wk.m.Scanned = int64(len(part))
+	for _, t := range part {
+		if mode == modeRoute && wk.alg == AdaptiveRepartitioning {
+			if wk.fallback.Load() {
+				// Another worker (or this one) declared end-of-phase.
+				mode = modeLocal
+				switched = true
+				observing = false
+			} else if observing {
+				obsSeen++
+				if len(obsGroups) <= threshold {
+					obsGroups[t.Key] = struct{}{}
+				}
+				if len(obsGroups) > threshold {
+					observing = false // plenty of groups: keep routing
+				} else if obsSeen >= wk.cfg.InitSeg {
+					observing = false
+					wk.fallback.Store(true)
+					mode = modeLocal
+					switched = true
+				}
+			}
+		}
+		switch mode {
+		case modeLocal:
+			if s, ok := local[t.Key]; ok {
+				s.Update(t.Val)
+				local[t.Key] = s
+				continue
+			}
+			if bound > 0 && len(local) >= bound {
+				switch wk.alg {
+				case AdaptiveTwoPhase, AdaptiveRepartitioning:
+					// Flush the accumulated partials, free the memory,
+					// repartition from here on — the A-2P switch.
+					wk.flushPartials(local)
+					local = make(map[tuple.Key]tuple.AggState)
+					mode = modeRoute
+					switched = true
+					wk.route(t)
+				default:
+					// Plain 2P spools the overflow tuple.
+					wk.m.Spilled++
+					if spill == nil {
+						if spill, err = newSpillStore(wk.cfg); err != nil {
+							return switched, err
+						}
+					}
+					if err = spill.add(t); err != nil {
+						return switched, err
+					}
+				}
+				continue
+			}
+			local[t.Key] = tuple.NewState(t.Val)
+		case modeRoute:
+			wk.route(t)
+		}
+	}
+
+	// Drain the local table, then process the spill in bounded passes,
+	// exactly like the overflow-bucket loop of the paper.
+	wk.flushPartials(local)
+	for spill != nil && spill.len() > 0 {
+		var next spillStore
+		tab := make(map[tuple.Key]tuple.AggState)
+		err = spill.drain(func(t tuple.Tuple) error {
+			if s, ok := tab[t.Key]; ok {
+				s.Update(t.Val)
+				tab[t.Key] = s
+				return nil
+			}
+			if bound > 0 && len(tab) >= bound {
+				if next == nil {
+					var nerr error
+					if next, nerr = newSpillStore(wk.cfg); nerr != nil {
+						return nerr
+					}
+				}
+				return next.add(t)
+			}
+			tab[t.Key] = tuple.NewState(t.Val)
+			return nil
+		})
+		spill.close()
+		spill = next
+		if err != nil {
+			if spill != nil {
+				spill.close()
+				spill = nil
+			}
+			return switched, err
+		}
+		wk.flushPartials(tab)
+	}
+	wk.flushAll()
+	return switched, nil
+}
+
+// mergeSide folds everything routed to this worker into its final groups.
+// The merge table is allowed to exceed the bound only logically: overflow
+// entries go to a second pass, as the disk-backed bucket loop would.
+func (wk *worker) mergeSide(inbox <-chan message) map[tuple.Key]tuple.AggState {
+	bound := wk.cfg.TableEntries
+	global := make(map[tuple.Key]tuple.AggState)
+	var overflow []tuple.Partial
+	absorb := func(pt tuple.Partial) {
+		if s, ok := global[pt.Key]; ok {
+			s.Merge(pt.State)
+			global[pt.Key] = s
+			return
+		}
+		if bound > 0 && len(global) >= bound {
+			overflow = append(overflow, pt)
+			return
+		}
+		global[pt.Key] = pt.State
+	}
+	for m := range inbox {
+		for _, t := range m.raw {
+			absorb(tuple.Partial{Key: t.Key, State: tuple.NewState(t.Val)})
+		}
+		for _, pt := range m.part {
+			absorb(pt)
+		}
+	}
+	if len(overflow) == 0 {
+		return global
+	}
+	out := make(map[tuple.Key]tuple.AggState, len(global)+len(overflow))
+	for k, s := range global {
+		out[k] = s
+	}
+	for _, pt := range overflow {
+		if s, ok := out[pt.Key]; ok {
+			s.Merge(pt.State)
+			out[pt.Key] = s
+		} else {
+			out[pt.Key] = pt.State
+		}
+	}
+	return out
+}
+
+// route queues one raw tuple for the worker owning its group.
+func (wk *worker) route(t tuple.Tuple) {
+	wk.m.Routed++
+	d := t.Key.Dest(wk.cfg.Workers)
+	wk.outRaw[d] = append(wk.outRaw[d], t)
+	if len(wk.outRaw[d]) >= wk.cfg.Batch {
+		wk.inboxes[d] <- message{raw: wk.outRaw[d]}
+		wk.outRaw[d] = nil
+	}
+}
+
+// flushPartials partitions a drained table to its merge workers.
+func (wk *worker) flushPartials(tab map[tuple.Key]tuple.AggState) {
+	wk.m.PartialsSent += int64(len(tab))
+	for k, s := range tab {
+		d := k.Dest(wk.cfg.Workers)
+		wk.outPart[d] = append(wk.outPart[d], tuple.Partial{Key: k, State: s})
+		if len(wk.outPart[d]) >= wk.cfg.Batch {
+			wk.inboxes[d] <- message{part: wk.outPart[d]}
+			wk.outPart[d] = nil
+		}
+	}
+}
+
+// flushAll sends every partially-filled batch.
+func (wk *worker) flushAll() {
+	for d := range wk.inboxes {
+		if len(wk.outRaw[d]) > 0 {
+			wk.inboxes[d] <- message{raw: wk.outRaw[d]}
+			wk.outRaw[d] = nil
+		}
+		if len(wk.outPart[d]) > 0 {
+			wk.inboxes[d] <- message{part: wk.outPart[d]}
+			wk.outPart[d] = nil
+		}
+	}
+}

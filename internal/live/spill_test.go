@@ -1,0 +1,111 @@
+package live
+
+import (
+	"testing"
+
+	"parallelagg/internal/tuple"
+	"parallelagg/internal/workload"
+)
+
+func TestDiskSpillRoundTrip(t *testing.T) {
+	s, err := newDiskSpill(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if err := s.add(tuple.Tuple{Key: tuple.Key(i), Val: int64(-i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.len() != n {
+		t.Fatalf("len = %d", s.len())
+	}
+	i := 0
+	err = s.drain(func(tp tuple.Tuple) error {
+		if tp.Key != tuple.Key(i) || tp.Val != int64(-i) {
+			t.Fatalf("record %d = %v", i, tp)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("drained %d records", i)
+	}
+	// The store is reusable after drain.
+	if s.len() != 0 {
+		t.Error("len after drain != 0")
+	}
+	if err := s.add(tuple.Tuple{Key: 99}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	if err := s.drain(func(tp tuple.Tuple) error {
+		found = tp.Key == 99
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Error("record lost after reuse")
+	}
+}
+
+func TestMemSpillRoundTrip(t *testing.T) {
+	var s spillStore = &memSpill{}
+	s.add(tuple.Tuple{Key: 1})
+	s.add(tuple.Tuple{Key: 2})
+	if s.len() != 2 {
+		t.Fatalf("len = %d", s.len())
+	}
+	var got []tuple.Key
+	s.drain(func(tp tuple.Tuple) error {
+		got = append(got, tp.Key)
+		return nil
+	})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("drained %v", got)
+	}
+	if s.len() != 0 {
+		t.Error("not emptied")
+	}
+	if err := s.close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoPhaseWithRealDiskSpill(t *testing.T) {
+	rel := workload.Uniform(1, 40_000, 15_000, 31)
+	cfg := Config{
+		Workers:      4,
+		TableEntries: 256, // forces many spill passes
+		SpillToDisk:  true,
+		SpillDir:     t.TempDir(),
+	}
+	res, err := Aggregate(cfg, flatten(rel), TwoPhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, rel, res)
+}
+
+func TestDiskSpillBadDir(t *testing.T) {
+	if _, err := newDiskSpill("/definitely/not/a/dir"); err == nil {
+		t.Error("bad spill dir accepted")
+	}
+	// And the engine surfaces the error instead of hanging.
+	in := make([]tuple.Tuple, 100)
+	for i := range in {
+		in[i] = tuple.Tuple{Key: tuple.Key(i)}
+	}
+	_, err := Aggregate(Config{
+		Workers: 2, TableEntries: 4, SpillToDisk: true, SpillDir: "/definitely/not/a/dir",
+	}, in, TwoPhase)
+	if err == nil {
+		t.Error("engine ignored spill failure")
+	}
+}

@@ -1,0 +1,46 @@
+package live
+
+import "parallelagg/internal/tuple"
+
+// spillStore abstracts where a worker's overflow tuples live: in memory
+// (the default; cheap, but the "memory bound" is then only logical) or in
+// a real temporary file (Config.SpillToDisk).
+type spillStore interface {
+	add(t tuple.Tuple) error
+	len() int64
+	// drain streams every tuple to fn and empties the store for reuse.
+	drain(fn func(tuple.Tuple) error) error
+	close() error
+}
+
+// memSpill is the in-memory store.
+type memSpill struct {
+	buf []tuple.Tuple
+}
+
+func (m *memSpill) add(t tuple.Tuple) error { m.buf = append(m.buf, t); return nil }
+func (m *memSpill) len() int64              { return int64(len(m.buf)) }
+func (m *memSpill) close() error            { return nil }
+
+func (m *memSpill) drain(fn func(tuple.Tuple) error) error {
+	buf := m.buf
+	m.buf = nil
+	for _, t := range buf {
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// newSpillStore builds the configured store.
+func newSpillStore(cfg Config) (spillStore, error) {
+	if cfg.SpillToDisk {
+		ds, err := newDiskSpill(cfg.SpillDir)
+		if err != nil {
+			return nil, err // explicit nil interface, not a typed nil
+		}
+		return ds, nil
+	}
+	return &memSpill{}, nil
+}

@@ -1,0 +1,230 @@
+package network
+
+import (
+	"testing"
+
+	"parallelagg/internal/des"
+	"parallelagg/internal/params"
+	"parallelagg/internal/tuple"
+)
+
+func latencyParams() params.Params {
+	p := params.Default()
+	p.N = 4
+	return p
+}
+
+func busParams() params.Params {
+	p := params.Implementation() // shared bus, N=8
+	p.N = 4
+	return p
+}
+
+func TestMessagePages(t *testing.T) {
+	m := &Message{}
+	if got := m.Pages(2048); got != 1 {
+		t.Errorf("control message pages = %d, want 1", got)
+	}
+	m.Raw = make([]tuple.Tuple, 128) // 2048 bytes exactly
+	if got := m.Pages(2048); got != 1 {
+		t.Errorf("one-block message pages = %d, want 1", got)
+	}
+	m.Raw = make([]tuple.Tuple, 129)
+	if got := m.Pages(2048); got != 2 {
+		t.Errorf("pages = %d, want 2", got)
+	}
+	m.Partials = make([]tuple.Partial, 1) // +40 bytes
+	if got := m.Bytes(); got != 129*16+tuple.PartialSize {
+		t.Errorf("Bytes = %d", got)
+	}
+}
+
+func TestLatencyNetDelivery(t *testing.T) {
+	prm := latencyParams()
+	sim := des.New()
+	n := New(sim, prm)
+	n.AddSenders(1)
+	var arrival des.Time
+	var payload tuple.Key
+	sim.Spawn("sender", func(p *des.Proc) {
+		cpu := sim.NewResource("cpu0")
+		n.Send(p, cpu, &Message{Src: 0, Dst: 1, Raw: []tuple.Tuple{{Key: 77}}})
+		n.Done()
+	})
+	sim.Spawn("receiver", func(p *des.Proc) {
+		cpu := sim.NewResource("cpu1")
+		m, ok := n.Recv(p, cpu, 1)
+		if !ok {
+			t.Error("Recv failed")
+			return
+		}
+		arrival = p.Now()
+		payload = m.Raw[0].Key
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Arrival = protocol CPU at sender + latency + protocol CPU at receiver.
+	proto := prm.CPUTime(prm.MsgProto)
+	want := des.Time(proto + prm.MsgLat + proto)
+	if arrival != want {
+		t.Errorf("arrival = %v, want %v", arrival, want)
+	}
+	if payload != 77 {
+		t.Errorf("payload key = %d, want 77", payload)
+	}
+}
+
+func TestLatencyNetUnlimitedBandwidth(t *testing.T) {
+	// Two senders transmitting simultaneously must not queue behind each
+	// other on a latency-only network.
+	prm := latencyParams()
+	sim := des.New()
+	n := New(sim, prm)
+	n.AddSenders(2)
+	arrivals := make([]des.Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		sim.Spawn("sender", func(p *des.Proc) {
+			cpu := sim.NewResource("scpu")
+			n.Send(p, cpu, &Message{Src: i, Dst: 2 + i})
+			n.Done()
+		})
+		sim.Spawn("receiver", func(p *des.Proc) {
+			cpu := sim.NewResource("rcpu")
+			if _, ok := n.Recv(p, cpu, 2+i); ok {
+				arrivals[i] = p.Now()
+			}
+		})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrivals[0] != arrivals[1] {
+		t.Errorf("arrivals %v differ; latency net should not serialize", arrivals)
+	}
+}
+
+func TestSharedBusSerializesTransmissions(t *testing.T) {
+	prm := busParams()
+	sim := des.New()
+	n := New(sim, prm)
+	n.AddSenders(2)
+	arrivals := make([]des.Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		sim.Spawn("sender", func(p *des.Proc) {
+			cpu := sim.NewResource("scpu")
+			n.Send(p, cpu, &Message{Src: i, Dst: 2 + i})
+			n.Done()
+		})
+		sim.Spawn("receiver", func(p *des.Proc) {
+			cpu := sim.NewResource("rcpu")
+			if _, ok := n.Recv(p, cpu, 2+i); ok {
+				arrivals[i] = p.Now()
+			}
+		})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrivals[0] == arrivals[1] {
+		t.Errorf("arrivals both %v; bus should serialize", arrivals[0])
+	}
+	gap := arrivals[1] - arrivals[0]
+	if gap != des.Time(prm.MsgLat) {
+		t.Errorf("bus gap = %v, want one block time %v", gap, prm.MsgLat)
+	}
+}
+
+func TestBusShutdownAfterLastSender(t *testing.T) {
+	prm := busParams()
+	sim := des.New()
+	n := New(sim, prm)
+	n.AddSenders(2)
+	for i := 0; i < 2; i++ {
+		i := i
+		sim.Spawn("sender", func(p *des.Proc) {
+			cpu := sim.NewResource("cpu")
+			n.Send(p, cpu, &Message{Src: i, Dst: 3})
+			n.Done()
+		})
+	}
+	sim.Spawn("receiver", func(p *des.Proc) {
+		cpu := sim.NewResource("cpu")
+		for i := 0; i < 2; i++ {
+			if _, ok := n.Recv(p, cpu, 3); !ok {
+				t.Error("Recv failed")
+			}
+		}
+	})
+	// Without Done-triggered bus shutdown this would return a deadlock
+	// error for the bus process.
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	prm := latencyParams()
+	sim := des.New()
+	n := New(sim, prm)
+	n.AddSenders(1)
+	sim.Spawn("sender", func(p *des.Proc) {
+		cpu := sim.NewResource("cpu")
+		n.Send(p, cpu, &Message{Dst: 1, Raw: make([]tuple.Tuple, 300)})
+		n.Done()
+	})
+	sim.Spawn("receiver", func(p *des.Proc) {
+		cpu := sim.NewResource("cpu")
+		n.Recv(p, cpu, 1)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Metrics.Messages != 1 {
+		t.Errorf("Messages = %d", n.Metrics.Messages)
+	}
+	if n.Metrics.Bytes != 300*16 {
+		t.Errorf("Bytes = %d", n.Metrics.Bytes)
+	}
+	wantPages := int64((300*16 + prm.MsgPageBytes - 1) / prm.MsgPageBytes)
+	if n.Metrics.Pages != wantPages {
+		t.Errorf("Pages = %d, want %d", n.Metrics.Pages, wantPages)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	prm := latencyParams()
+	sim := des.New()
+	n := New(sim, prm)
+	n.AddSenders(1)
+	sim.Spawn("p", func(p *des.Proc) {
+		cpu := sim.NewResource("cpu")
+		if _, ok := n.TryRecv(p, cpu, 0); ok {
+			t.Error("TryRecv on empty inbox returned a message")
+		}
+		n.Send(p, cpu, &Message{Dst: 0})
+		// On the latency net the send is synchronous, so the message is
+		// already delivered when Send returns.
+		if _, ok := n.TryRecv(p, cpu, 0); !ok {
+			t.Error("TryRecv missed a delivered message")
+		}
+		n.Done()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoneWithoutSendersPanics(t *testing.T) {
+	prm := latencyParams()
+	sim := des.New()
+	n := New(sim, prm)
+	defer func() {
+		if recover() == nil {
+			t.Error("Done without AddSenders did not panic")
+		}
+	}()
+	n.Done()
+}

@@ -1,0 +1,94 @@
+// Package optimizer is the static counterpoint to the paper's adaptive
+// algorithms: a cost-based chooser that picks a traditional algorithm from
+// the analytical model given an *estimated* group count — the way a 1995
+// query optimizer would. Its value here is quantifying the paper's
+// motivation: when the estimate is wrong (group-count estimation was, and
+// is, notoriously unreliable), the static choice can be badly wrong, while
+// the adaptive algorithms pay almost nothing for the same error.
+package optimizer
+
+import (
+	"math"
+
+	"parallelagg/internal/core"
+	"parallelagg/internal/cost"
+	"parallelagg/internal/params"
+)
+
+// StaticChoices are the algorithms a non-adaptive optimizer chooses among.
+var StaticChoices = []core.Algorithm{core.C2P, core.TwoPhase, core.Rep}
+
+// staticCost evaluates one static algorithm at selectivity s.
+func staticCost(m *cost.Model, alg core.Algorithm, s float64) float64 {
+	switch alg {
+	case core.C2P:
+		return m.C2P(s).Total()
+	case core.TwoPhase:
+		return m.TwoPhase(s).Total()
+	case core.Rep:
+		return m.Rep(s).Total()
+	default:
+		return math.Inf(1)
+	}
+}
+
+// Choose returns the statically cheapest algorithm for an estimated group
+// count, using the analytical model over prm.
+func Choose(prm params.Params, estimatedGroups int64) core.Algorithm {
+	m := cost.New(prm)
+	s := float64(estimatedGroups) / float64(prm.Tuples)
+	best, bestCost := core.TwoPhase, math.Inf(1)
+	for _, alg := range StaticChoices {
+		if c := staticCost(m, alg, s); c < bestCost {
+			best, bestCost = alg, c
+		}
+	}
+	return best
+}
+
+// Sensitivity is one row of the estimation-error experiment.
+type Sensitivity struct {
+	ErrorFactor  float64        // estimate = true × factor
+	Chosen       core.Algorithm // the static optimizer's pick
+	StaticCost   float64        // what that pick actually costs (seconds)
+	AdaptiveCost float64        // what Adaptive Two Phase costs (seconds)
+	OracleCost   float64        // the best static choice with a perfect estimate
+}
+
+// Regret returns how much the static pick loses to the oracle, as a ratio.
+func (s Sensitivity) Regret() float64 { return s.StaticCost / s.OracleCost }
+
+// Sweep evaluates the optimizer across estimation-error factors for a
+// relation whose TRUE group count is trueGroups. Each entry reports the
+// cost actually paid by the statically chosen algorithm (evaluated at the
+// true selectivity) next to the Adaptive Two Phase cost.
+func Sweep(prm params.Params, trueGroups int64, errorFactors []float64) []Sensitivity {
+	m := cost.New(prm)
+	trueS := float64(trueGroups) / float64(prm.Tuples)
+	oracle := math.Inf(1)
+	for _, alg := range StaticChoices {
+		if c := staticCost(m, alg, trueS); c < oracle {
+			oracle = c
+		}
+	}
+	adaptive := m.A2P(trueS).Total()
+	out := make([]Sensitivity, 0, len(errorFactors))
+	for _, f := range errorFactors {
+		est := int64(float64(trueGroups) * f)
+		if est < 1 {
+			est = 1
+		}
+		if est > prm.Tuples {
+			est = prm.Tuples
+		}
+		chosen := Choose(prm, est)
+		out = append(out, Sensitivity{
+			ErrorFactor:  f,
+			Chosen:       chosen,
+			StaticCost:   staticCost(m, chosen, trueS),
+			AdaptiveCost: adaptive,
+			OracleCost:   oracle,
+		})
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package optimizer
+
+import (
+	"testing"
+
+	"parallelagg/internal/core"
+	"parallelagg/internal/params"
+)
+
+func TestChooseExtremes(t *testing.T) {
+	prm := params.Default()
+	if got := Choose(prm, 10); got != core.TwoPhase && got != core.C2P {
+		t.Errorf("Choose(10 groups) = %v, want a two-phase algorithm", got)
+	}
+	if got := Choose(prm, prm.Tuples/2); got != core.Rep {
+		t.Errorf("Choose(|R|/2 groups) = %v, want Rep", got)
+	}
+}
+
+func TestChooseMonotoneCrossover(t *testing.T) {
+	// Once the chooser flips to Rep it should stay on Rep as groups grow.
+	prm := params.Default()
+	flipped := false
+	for g := int64(1); g <= prm.Tuples/2; g *= 4 {
+		alg := Choose(prm, g)
+		if alg == core.Rep {
+			flipped = true
+		} else if flipped {
+			t.Fatalf("chooser flipped back to %v at %d groups", alg, g)
+		}
+	}
+	if !flipped {
+		t.Error("chooser never picked Rep")
+	}
+}
+
+func TestSweepOracleAndRegret(t *testing.T) {
+	prm := params.Default()
+	trueGroups := int64(2_000_000) // deep in Rep territory
+	rows := Sweep(prm, trueGroups, []float64{1e-4, 1e-2, 1, 1e2})
+	for _, r := range rows {
+		if r.StaticCost < r.OracleCost*(1-1e-9) {
+			t.Errorf("factor %v: static %v beats oracle %v", r.ErrorFactor, r.StaticCost, r.OracleCost)
+		}
+		if r.Regret() < 1-1e-9 {
+			t.Errorf("factor %v: regret %v < 1", r.ErrorFactor, r.Regret())
+		}
+	}
+	// A perfect estimate has no regret.
+	perfect := rows[2]
+	if perfect.ErrorFactor != 1 {
+		t.Fatalf("row order unexpected: %+v", perfect)
+	}
+	if perfect.Regret() > 1+1e-9 {
+		t.Errorf("perfect estimate regret = %v", perfect.Regret())
+	}
+	// A 10000× underestimate picks a two-phase algorithm and pays for it.
+	under := rows[0]
+	if under.Chosen == core.Rep {
+		t.Error("huge underestimate still chose Rep")
+	}
+	if under.Regret() < 1.2 {
+		t.Errorf("underestimate regret = %v, expected substantial", under.Regret())
+	}
+	// The adaptive algorithm is immune: near-oracle regardless of the row.
+	for _, r := range rows {
+		if r.AdaptiveCost > r.OracleCost*1.3 {
+			t.Errorf("factor %v: adaptive %v far from oracle %v", r.ErrorFactor, r.AdaptiveCost, r.OracleCost)
+		}
+	}
+}
+
+func TestSweepClampsEstimates(t *testing.T) {
+	prm := params.Default()
+	rows := Sweep(prm, 100, []float64{1e-9, 1e12})
+	if len(rows) != 2 {
+		t.Fatal("row count")
+	}
+	// Both extreme factors must still produce valid picks.
+	for _, r := range rows {
+		ok := false
+		for _, alg := range StaticChoices {
+			if r.Chosen == alg {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("factor %v chose %v", r.ErrorFactor, r.Chosen)
+		}
+	}
+}

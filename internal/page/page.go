@@ -1,0 +1,133 @@
+// Package page implements fixed-size pages of fixed-width records, the
+// storage and wire unit of the simulator. A page is a byte buffer of the
+// configured size holding as many records as fit; the implementation in
+// Section 5 of the paper used exactly this layout (no slotted pages).
+//
+// Two record kinds exist: raw projected tuples (tuple.RawSize bytes) and
+// partial aggregates (tuple.PartialSize bytes). Typed wrappers keep
+// encoding errors out of the algorithm code.
+package page
+
+import (
+	"fmt"
+
+	"parallelagg/internal/tuple"
+)
+
+// Page is a fixed-capacity buffer of fixed-width records.
+type Page struct {
+	buf     []byte
+	recSize int
+	n       int // records stored
+}
+
+// New returns an empty page of pageBytes capacity holding recSize-byte
+// records. It panics if not even one record fits.
+func New(pageBytes, recSize int) *Page {
+	if recSize <= 0 || pageBytes < recSize {
+		panic(fmt.Sprintf("page: cannot fit %d-byte records in %d-byte pages", recSize, pageBytes))
+	}
+	return &Page{buf: make([]byte, pageBytes), recSize: recSize}
+}
+
+// Cap returns how many records the page can hold.
+func (p *Page) Cap() int { return len(p.buf) / p.recSize }
+
+// Len returns how many records the page holds.
+func (p *Page) Len() int { return p.n }
+
+// Full reports whether another record would not fit.
+func (p *Page) Full() bool { return p.n >= p.Cap() }
+
+// Reset empties the page for reuse.
+func (p *Page) Reset() { p.n = 0 }
+
+// RecordSize returns the width of one record.
+func (p *Page) RecordSize() int { return p.recSize }
+
+// slot returns the byte slice for record i, growing the count when
+// appending (i == n).
+func (p *Page) slot(i int) []byte {
+	off := i * p.recSize
+	return p.buf[off : off+p.recSize]
+}
+
+// append reserves the next record slot or reports the page full.
+func (p *Page) append() ([]byte, bool) {
+	if p.Full() {
+		return nil, false
+	}
+	b := p.slot(p.n)
+	p.n++
+	return b, true
+}
+
+// RawPage is a page of raw projected tuples.
+type RawPage struct{ Page }
+
+// NewRaw returns an empty raw-tuple page.
+func NewRaw(pageBytes int) *RawPage {
+	return &RawPage{*New(pageBytes, tuple.RawSize)}
+}
+
+// Append adds t, reporting false when the page is full.
+func (p *RawPage) Append(t tuple.Tuple) bool {
+	b, ok := p.append()
+	if !ok {
+		return false
+	}
+	tuple.EncodeRaw(b, t)
+	return true
+}
+
+// At decodes record i. It panics if i is out of range.
+func (p *RawPage) At(i int) tuple.Tuple {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("page: raw record %d out of range [0,%d)", i, p.n))
+	}
+	return tuple.DecodeRaw(p.slot(i))
+}
+
+// All decodes every record into a fresh slice.
+func (p *RawPage) All() []tuple.Tuple {
+	out := make([]tuple.Tuple, p.n)
+	for i := range out {
+		out[i] = p.At(i)
+	}
+	return out
+}
+
+// PartialPage is a page of partial-aggregate tuples.
+type PartialPage struct{ Page }
+
+// NewPartial returns an empty partial-aggregate page.
+func NewPartial(pageBytes int) *PartialPage {
+	return &PartialPage{*New(pageBytes, tuple.PartialSize)}
+}
+
+// Append adds pt, reporting false when the page is full.
+func (p *PartialPage) Append(pt tuple.Partial) bool {
+	b, ok := p.append()
+	if !ok {
+		return false
+	}
+	tuple.EncodePartial(b, pt)
+	return true
+}
+
+// At decodes record i. It panics if i is out of range.
+func (p *PartialPage) At(i int) tuple.Partial {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("page: partial record %d out of range [0,%d)", i, p.n))
+	}
+	return tuple.DecodePartial(p.slot(i))
+}
+
+// All decodes every record into a fresh slice.
+func (p *PartialPage) All() []tuple.Partial {
+	out := make([]tuple.Partial, p.n)
+	for i := range out {
+		out[i] = p.At(i)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package page
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parallelagg/internal/tuple"
+)
+
+func TestRawPageCapacity(t *testing.T) {
+	p := NewRaw(4096)
+	if got := p.Cap(); got != 256 {
+		t.Errorf("Cap = %d, want 256 (4096/16)", got)
+	}
+	if p.Len() != 0 || p.Full() {
+		t.Error("new page not empty")
+	}
+}
+
+func TestRawPageFillAndDrain(t *testing.T) {
+	p := NewRaw(64) // 4 records
+	for i := 0; i < 4; i++ {
+		if !p.Append(tuple.Tuple{Key: tuple.Key(i), Val: int64(-i)}) {
+			t.Fatalf("Append %d failed before capacity", i)
+		}
+	}
+	if !p.Full() {
+		t.Error("page should be full")
+	}
+	if p.Append(tuple.Tuple{}) {
+		t.Error("Append succeeded on full page")
+	}
+	for i, tp := range p.All() {
+		if tp.Key != tuple.Key(i) || tp.Val != int64(-i) {
+			t.Errorf("record %d = %v", i, tp)
+		}
+	}
+	p.Reset()
+	if p.Len() != 0 || p.Full() {
+		t.Error("Reset did not empty the page")
+	}
+	if !p.Append(tuple.Tuple{Key: 9}) {
+		t.Error("Append failed after Reset")
+	}
+	if got := p.At(0).Key; got != 9 {
+		t.Errorf("At(0).Key = %d after reset, want 9", got)
+	}
+}
+
+func TestPartialPage(t *testing.T) {
+	p := NewPartial(2048)
+	if got := p.Cap(); got != 42 {
+		t.Errorf("Cap = %d, want 42 (2048/48)", got)
+	}
+	in := tuple.Partial{Key: 5, State: tuple.AggState{Count: 2, Sum: 10, SumSq: 58, Min: 3, Max: 7}}
+	if !p.Append(in) {
+		t.Fatal("Append failed")
+	}
+	if got := p.At(0); got != in {
+		t.Errorf("At(0) = %v, want %v", got, in)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range did not panic")
+		}
+	}()
+	NewRaw(64).At(0)
+}
+
+func TestTinyPagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("page smaller than a record did not panic")
+		}
+	}()
+	New(8, 16)
+}
+
+// Property: any sequence of tuples written through pages is read back
+// identically, splitting across page boundaries.
+func TestPagedRoundTripProperty(t *testing.T) {
+	f := func(keys []uint32) bool {
+		var pages []*RawPage
+		cur := NewRaw(64)
+		for _, k := range keys {
+			tp := tuple.Tuple{Key: tuple.Key(k), Val: int64(k) * 3}
+			if !cur.Append(tp) {
+				pages = append(pages, cur)
+				cur = NewRaw(64)
+				cur.Append(tp)
+			}
+		}
+		if cur.Len() > 0 {
+			pages = append(pages, cur)
+		}
+		var got []tuple.Tuple
+		for _, pg := range pages {
+			got = append(got, pg.All()...)
+		}
+		if len(got) != len(keys) {
+			return false
+		}
+		for i, k := range keys {
+			if got[i].Key != tuple.Key(k) || got[i].Val != int64(k)*3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageRecordSizeAndPartialOutOfRange(t *testing.T) {
+	p := NewPartial(2048)
+	if p.RecordSize() != tuple.PartialSize {
+		t.Errorf("RecordSize = %d", p.RecordSize())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("partial At out of range did not panic")
+		}
+	}()
+	p.At(0)
+}
+
+func TestPartialPageAll(t *testing.T) {
+	p := NewPartial(2048)
+	for i := 0; i < 3; i++ {
+		p.Append(tuple.Partial{Key: tuple.Key(i), State: tuple.NewState(int64(i))})
+	}
+	all := p.All()
+	if len(all) != 3 || all[2].Key != 2 {
+		t.Errorf("All = %v", all)
+	}
+	if p.Append(tuple.Partial{}) != true && !p.Full() {
+		t.Error("append state inconsistent")
+	}
+}

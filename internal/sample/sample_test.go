@@ -1,0 +1,164 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequiredTuples(t *testing.T) {
+	if got := RequiredTuples(320); got != 3200 {
+		t.Errorf("RequiredTuples(320) = %d, want 3200", got)
+	}
+	if got := RequiredTuples(0); got != 10 {
+		t.Errorf("RequiredTuples(0) = %d, want 10", got)
+	}
+}
+
+func TestDecide(t *testing.T) {
+	if Decide(5, 100) != UseTwoPhase {
+		t.Error("few sampled groups must choose 2P")
+	}
+	if Decide(100, 100) != UseRepartitioning {
+		t.Error("threshold reached must choose Rep")
+	}
+	if UseTwoPhase.String() != "2P" || UseRepartitioning.String() != "Rep" {
+		t.Error("decision names wrong")
+	}
+}
+
+func TestExpectedDistinctBasics(t *testing.T) {
+	if got := ExpectedDistinct(1, 100); math.Abs(got-1) > 1e-9 {
+		t.Errorf("one group: expected %v, want 1", got)
+	}
+	if got := ExpectedDistinct(1000, 0); got != 0 {
+		t.Errorf("zero draws: %v", got)
+	}
+	// With n ≫ g, essentially all groups are seen.
+	if got := ExpectedDistinct(50, 5000); got < 49.99 {
+		t.Errorf("exhaustive sampling sees %v of 50 groups", got)
+	}
+	// With n ≪ g, almost every draw is new.
+	if got := ExpectedDistinct(1e9, 100); math.Abs(got-100) > 0.01 {
+		t.Errorf("sparse sampling: %v, want ≈100", got)
+	}
+}
+
+// Property: ExpectedDistinct is monotone in n and bounded by min(g, n).
+func TestExpectedDistinctBoundsProperty(t *testing.T) {
+	f := func(g16, n16 uint16) bool {
+		g, n := float64(g16%5000)+1, float64(n16%5000)+1
+		d := ExpectedDistinct(g, n)
+		if d < 0 || d > math.Min(g, n)+1e-9 {
+			return false
+		}
+		return ExpectedDistinct(g, n+100) >= d-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Empirical check: ExpectedDistinct matches simulation within a few percent.
+func TestExpectedDistinctMatchesSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const g, n, trials = 500, 1000, 200
+	var total float64
+	for tr := 0; tr < trials; tr++ {
+		seen := map[int]bool{}
+		for i := 0; i < n; i++ {
+			seen[rng.Intn(g)] = true
+		}
+		total += float64(len(seen))
+	}
+	emp := total / trials
+	pred := ExpectedDistinct(g, n)
+	if math.Abs(emp-pred)/pred > 0.03 {
+		t.Errorf("empirical %v vs predicted %v", emp, pred)
+	}
+}
+
+func TestMisdetectionProbShrinksWithSample(t *testing.T) {
+	const g, threshold = 5000.0, 320
+	p1 := MisdetectionProb(g, 300, threshold)
+	p2 := MisdetectionProb(g, 3200, threshold)
+	p3 := MisdetectionProb(g, 10000, threshold)
+	if !(p3 <= p2 && p2 <= p1) {
+		t.Errorf("misdetection not shrinking: %v, %v, %v", p1, p2, p3)
+	}
+	if p1 != 1 {
+		t.Errorf("a 300-tuple sample cannot certify a 320 threshold: p = %v, want 1", p1)
+	}
+	// The paper's 10× rule should make misdetection negligible.
+	if p2 > 1e-6 {
+		t.Errorf("10×threshold sample misdetection = %v, want < 1e-6", p2)
+	}
+	// An uninformative sample yields probability 1.
+	if got := MisdetectionProb(g, 10, threshold); got != 1 {
+		t.Errorf("tiny sample misdetection = %v, want 1", got)
+	}
+}
+
+func TestChao1(t *testing.T) {
+	// All groups seen many times: the sample is exhaustive, estimate =
+	// observed.
+	if got := Chao1(50, 0, 0); got != 50 {
+		t.Errorf("exhaustive Chao1 = %v, want 50", got)
+	}
+	// Textbook case: f1²/(2·f2) correction.
+	if got := Chao1(100, 40, 20); got != 100+40.0*40.0/40.0 {
+		t.Errorf("Chao1 = %v, want 140", got)
+	}
+	// No doubletons: bias-corrected form.
+	if got := Chao1(10, 5, 0); got != 10+5.0*4.0/2.0 {
+		t.Errorf("Chao1(no f2) = %v, want 20", got)
+	}
+	// Garbage in, zero out.
+	if got := Chao1(-1, 2, 3); got != 0 {
+		t.Errorf("Chao1(negative) = %v", got)
+	}
+}
+
+func TestChao1EstimatesHiddenGroups(t *testing.T) {
+	// Draw a small sample from many groups; the raw distinct count is far
+	// below the truth while Chao1 gets much closer (it is a lower bound,
+	// so it should land between).
+	rng := rand.New(rand.NewSource(11))
+	const g, n = 20_000, 4_000
+	freq := map[int]int{}
+	for i := 0; i < n; i++ {
+		freq[rng.Intn(g)]++
+	}
+	observed, f1, f2 := len(freq), 0, 0
+	for _, c := range freq {
+		switch c {
+		case 1:
+			f1++
+		case 2:
+			f2++
+		}
+	}
+	est := Chao1(observed, f1, f2)
+	if est <= float64(observed) {
+		t.Fatalf("Chao1 %v did not exceed observed %d", est, observed)
+	}
+	if est < 0.5*g || est > 1.5*g {
+		t.Errorf("Chao1 = %v for true %d groups (observed %d)", est, g, observed)
+	}
+}
+
+func TestDecideChao1ExtendsReach(t *testing.T) {
+	// Observed is below the threshold, but the frequency profile is almost
+	// all singletons: Chao1 sees past the sample and picks Rep.
+	if DecideChao1(700, 650, 20, 800) != UseRepartitioning {
+		t.Error("Chao1 decision missed the hidden groups")
+	}
+	if Decide(700, 800) != UseTwoPhase {
+		t.Error("raw decision should have picked 2P here")
+	}
+	// An exhaustive sample of few groups still picks 2P.
+	if DecideChao1(100, 0, 0, 800) != UseTwoPhase {
+		t.Error("Chao1 decision overshot on an exhaustive sample")
+	}
+}

@@ -1,0 +1,126 @@
+// Package trace records a structured timeline of a simulated query
+// execution: per-node phase transitions, adaptive switches, overflow
+// passes and protocol milestones, each stamped with virtual time. A trace
+// is how you see WHY an adaptive algorithm behaved as it did — which node
+// switched, when, and what it had seen by then.
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Kind classifies a trace event.
+type Kind int
+
+const (
+	// ScanStart: a node began scanning its partition.
+	ScanStart Kind = iota
+	// ScanEnd: a node finished its scan side.
+	ScanEnd
+	// Switch: an adaptive node changed strategy (detail says which way).
+	Switch
+	// EndOfPhase: an ARep node broadcast end-of-phase.
+	EndOfPhase
+	// SpillPass: an overflow bucket pass started (detail: records).
+	SpillPass
+	// Decision: the sampling coordinator decided (detail: the choice).
+	Decision
+	// MergeEnd: a node finished merging and emitted its groups.
+	MergeEnd
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case ScanStart:
+		return "scan-start"
+	case ScanEnd:
+		return "scan-end"
+	case Switch:
+		return "switch"
+	case EndOfPhase:
+		return "end-of-phase"
+	case SpillPass:
+		return "spill-pass"
+	case Decision:
+		return "decision"
+	case MergeEnd:
+		return "merge-end"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one timeline entry. T is virtual nanoseconds.
+type Event struct {
+	T      int64
+	Node   int // node ID; the coordinator uses the cluster's N
+	Kind   Kind
+	Detail string
+}
+
+// Log collects events. The DES scheduler serializes all access, so Log
+// needs no locking; it must not be shared across simulations.
+type Log struct {
+	Events []Event
+}
+
+// Add appends an event.
+func (l *Log) Add(t int64, node int, kind Kind, detail string) {
+	if l == nil {
+		return
+	}
+	l.Events = append(l.Events, Event{T: t, Node: node, Kind: kind, Detail: detail})
+}
+
+// Len returns the number of recorded events (0 for a nil log).
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.Events)
+}
+
+// ByKind returns the events of one kind, in order.
+func (l *Log) ByKind(k Kind) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.Events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByNode returns one node's events, in order.
+func (l *Log) ByNode(node int) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.Events {
+		if e.Node == node {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render writes the timeline as aligned text, one event per line.
+func (l *Log) Render(w io.Writer) error {
+	if l == nil || len(l.Events) == 0 {
+		_, err := fmt.Fprintln(w, "(no trace events)")
+		return err
+	}
+	for _, e := range l.Events {
+		if _, err := fmt.Fprintf(w, "%10.4fs  node %-3d  %-12s  %s\n",
+			float64(e.T)/1e9, e.Node, e.Kind, e.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

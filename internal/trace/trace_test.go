@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(1, 0, Switch, "x") // must not panic
+	if l.Len() != 0 {
+		t.Error("nil log has events")
+	}
+	if l.ByKind(Switch) != nil || l.ByNode(0) != nil {
+		t.Error("nil log returned events")
+	}
+	var buf bytes.Buffer
+	if err := l.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no trace events") {
+		t.Errorf("render = %q", buf.String())
+	}
+}
+
+func TestAddAndQuery(t *testing.T) {
+	l := &Log{}
+	l.Add(100, 0, ScanStart, "local mode")
+	l.Add(200, 1, ScanStart, "local mode")
+	l.Add(300, 0, Switch, "table full")
+	l.Add(400, 0, ScanEnd, "done")
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if got := l.ByKind(Switch); len(got) != 1 || got[0].Node != 0 {
+		t.Errorf("ByKind(Switch) = %v", got)
+	}
+	if got := l.ByNode(0); len(got) != 3 {
+		t.Errorf("ByNode(0) = %v", got)
+	}
+	// Events stay in insertion (= virtual time) order.
+	for i := 1; i < len(l.Events); i++ {
+		if l.Events[i].T < l.Events[i-1].T {
+			t.Error("events out of order")
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	l := &Log{}
+	l.Add(1_500_000_000, 3, EndOfPhase, "broadcasting")
+	var buf bytes.Buffer
+	if err := l.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"1.5000s", "node 3", "end-of-phase", "broadcasting"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	names := map[Kind]string{
+		ScanStart: "scan-start", ScanEnd: "scan-end", Switch: "switch",
+		EndOfPhase: "end-of-phase", SpillPass: "spill-pass",
+		Decision: "decision", MergeEnd: "merge-end",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+
+	"parallelagg/internal/tuple"
+)
+
+// NodeShape summarizes one node's partition.
+type NodeShape struct {
+	Tuples int64
+	Groups int64 // distinct group keys present on the node
+}
+
+// Analysis summarizes a relation's shape — the quantities that determine
+// which aggregation algorithm wins: the global selectivity, how groups
+// spread across nodes, and how skewed the placement is.
+type Analysis struct {
+	Tuples      int64
+	Groups      int64
+	Selectivity float64
+	PerNode     []NodeShape
+
+	// LargestGroup and SmallestGroup are the extreme group cardinalities.
+	LargestGroup  int64
+	SmallestGroup int64
+
+	// InputSkew is max(node tuples)/mean(node tuples): 1 = balanced.
+	InputSkew float64
+	// OutputSkew is max(node groups)/mean(node groups): 1 = balanced.
+	OutputSkew float64
+}
+
+// Analyze computes the relation's shape summary.
+func (r *Relation) Analyze() *Analysis {
+	a := &Analysis{PerNode: make([]NodeShape, len(r.PerNode))}
+	sizes := map[tuple.Key]int64{}
+	for i, part := range r.PerNode {
+		seen := map[tuple.Key]struct{}{}
+		for _, t := range part {
+			sizes[t.Key]++
+			seen[t.Key] = struct{}{}
+		}
+		a.PerNode[i] = NodeShape{Tuples: int64(len(part)), Groups: int64(len(seen))}
+		a.Tuples += int64(len(part))
+	}
+	a.Groups = int64(len(sizes))
+	if a.Tuples > 0 {
+		a.Selectivity = float64(a.Groups) / float64(a.Tuples)
+	}
+	first := true
+	for _, n := range sizes {
+		if first || n > a.LargestGroup {
+			a.LargestGroup = n
+		}
+		if first || n < a.SmallestGroup {
+			a.SmallestGroup = n
+		}
+		first = false
+	}
+	a.InputSkew = skewOf(a.PerNode, func(s NodeShape) int64 { return s.Tuples })
+	a.OutputSkew = skewOf(a.PerNode, func(s NodeShape) int64 { return s.Groups })
+	return a
+}
+
+// skewOf computes max/mean over a per-node quantity (1 when balanced or
+// empty).
+func skewOf(nodes []NodeShape, f func(NodeShape) int64) float64 {
+	if len(nodes) == 0 {
+		return 1
+	}
+	var sum, max int64
+	for _, n := range nodes {
+		v := f(n)
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(nodes))
+	return float64(max) / mean
+}
+
+// Render writes the analysis as aligned text.
+func (a *Analysis) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"tuples %d, groups %d, selectivity %.3g\ngroup sizes %d..%d, input skew x%.2f, output skew x%.2f\n",
+		a.Tuples, a.Groups, a.Selectivity, a.SmallestGroup, a.LargestGroup,
+		a.InputSkew, a.OutputSkew); err != nil {
+		return err
+	}
+	for i, n := range a.PerNode {
+		if _, err := fmt.Fprintf(w, "  node %-3d %8d tuples  %8d groups\n", i, n.Tuples, n.Groups); err != nil {
+			return err
+		}
+	}
+	return nil
+}

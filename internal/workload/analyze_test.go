@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeUniform(t *testing.T) {
+	rel := Uniform(4, 8000, 200, 1)
+	a := rel.Analyze()
+	if a.Tuples != 8000 || a.Groups != 200 {
+		t.Fatalf("analysis = %+v", a)
+	}
+	if a.Selectivity != 200.0/8000.0 {
+		t.Errorf("selectivity = %v", a.Selectivity)
+	}
+	// Round-robin placement is balanced in both dimensions.
+	if a.InputSkew > 1.01 {
+		t.Errorf("input skew = %v for a uniform relation", a.InputSkew)
+	}
+	if a.OutputSkew > 1.05 {
+		t.Errorf("output skew = %v for a uniform relation", a.OutputSkew)
+	}
+	if a.SmallestGroup < 1 || a.LargestGroup < a.SmallestGroup {
+		t.Errorf("group sizes %d..%d", a.SmallestGroup, a.LargestGroup)
+	}
+}
+
+func TestAnalyzeDetectsInputSkew(t *testing.T) {
+	rel := InputSkew(4, 8000, 100, 4.0, 2)
+	a := rel.Analyze()
+	// Node 0 holds 4w of 7w total over 4 nodes: max/mean = 4/1.75 ≈ 2.29.
+	if a.InputSkew < 2.0 || a.InputSkew > 2.6 {
+		t.Errorf("input skew = %v, want ≈2.29", a.InputSkew)
+	}
+}
+
+func TestAnalyzeDetectsOutputSkew(t *testing.T) {
+	rel := OutputSkew(8, 8000, 100, 3)
+	a := rel.Analyze()
+	if a.OutputSkew < 1.5 {
+		t.Errorf("output skew = %v, want large (half the nodes hold 1 group)", a.OutputSkew)
+	}
+	// First half of the nodes hold exactly one group each.
+	for i := 0; i < 4; i++ {
+		if a.PerNode[i].Groups != 1 {
+			t.Errorf("node %d groups = %d, want 1", i, a.PerNode[i].Groups)
+		}
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	empty := &Relation{}
+	a := empty.Analyze()
+	if a.Tuples != 0 || a.Groups != 0 || a.InputSkew != 1 {
+		t.Errorf("empty analysis = %+v", a)
+	}
+}
+
+func TestAnalysisRender(t *testing.T) {
+	rel := Uniform(2, 100, 10, 4)
+	var buf bytes.Buffer
+	if err := rel.Analyze().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"tuples 100", "groups 10", "node 0", "node 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

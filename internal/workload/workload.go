@@ -1,0 +1,337 @@
+// Package workload generates the synthetic relations the experiments run
+// on: uniformly distributed groups (the paper's default), input-skewed and
+// output-skewed relations (Section 6), duplicate-elimination workloads, a
+// Zipf-distributed extension, and a TPC-D-flavoured lineitem generator.
+// Every generator is deterministic given its seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parallelagg/internal/tuple"
+)
+
+// Relation is a generated relation, declustered across the nodes of a
+// cluster. Groups is the exact number of distinct group keys present.
+type Relation struct {
+	PerNode [][]tuple.Tuple
+	Groups  int64
+	Name    string
+}
+
+// Tuples returns the total tuple count across all nodes.
+func (r *Relation) Tuples() int64 {
+	var n int64
+	for _, part := range r.PerNode {
+		n += int64(len(part))
+	}
+	return n
+}
+
+// Selectivity returns the GROUP BY selectivity S = |result| / |input|.
+func (r *Relation) Selectivity() float64 {
+	t := r.Tuples()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.Groups) / float64(t)
+}
+
+// Reference computes the correct aggregation result with a trusted
+// sequential fold. Every algorithm's output is checked against it.
+func (r *Relation) Reference() map[tuple.Key]tuple.AggState {
+	ref := make(map[tuple.Key]tuple.AggState)
+	for _, part := range r.PerNode {
+		for _, t := range part {
+			if s, ok := ref[t.Key]; ok {
+				s.Update(t.Val)
+				ref[t.Key] = s
+			} else {
+				ref[t.Key] = tuple.NewState(t.Val)
+			}
+		}
+	}
+	return ref
+}
+
+// val derives a deterministic aggregand from a group key and a sequence
+// number, so result sums are reproducible and non-trivial.
+func val(key tuple.Key, i int64) int64 {
+	return int64(uint64(key)*2654435761+uint64(i)*40503) % 1000
+}
+
+// Uniform generates a relation of total tuples with exactly groups distinct
+// keys (0..groups-1) drawn uniformly, partitioned round-robin across nodes
+// — the layout of the paper's implementation study. It panics unless
+// 1 ≤ groups ≤ tuples and nodes ≥ 1.
+func Uniform(nodes int, tuples, groups int64, seed int64) *Relation {
+	if nodes < 1 {
+		panic("workload: nodes must be >= 1")
+	}
+	if groups < 1 || groups > tuples {
+		panic(fmt.Sprintf("workload: groups %d out of range [1,%d]", groups, tuples))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]tuple.Key, tuples)
+	// Guarantee every group appears at least once, then fill uniformly.
+	for i := int64(0); i < groups; i++ {
+		keys[i] = tuple.Key(i)
+	}
+	for i := groups; i < tuples; i++ {
+		keys[i] = tuple.Key(rng.Int63n(groups))
+	}
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	r := &Relation{
+		PerNode: make([][]tuple.Tuple, nodes),
+		Groups:  groups,
+		Name:    fmt.Sprintf("uniform(G=%d)", groups),
+	}
+	for i, k := range keys {
+		n := i % nodes
+		r.PerNode[n] = append(r.PerNode[n], tuple.Tuple{Key: k, Val: val(k, int64(i))})
+	}
+	return r
+}
+
+// DupElim generates a duplicate-elimination workload: tuples/dupFactor
+// distinct keys, i.e. each "group" has dupFactor duplicates on average.
+// dupFactor 2 gives the paper's extreme S = 0.5.
+func DupElim(nodes int, tuples int64, dupFactor int64, seed int64) *Relation {
+	if dupFactor < 1 {
+		panic("workload: dupFactor must be >= 1")
+	}
+	groups := tuples / dupFactor
+	if groups < 1 {
+		groups = 1
+	}
+	r := Uniform(nodes, tuples, groups, seed)
+	r.Name = fmt.Sprintf("dupelim(x%d)", dupFactor)
+	return r
+}
+
+// InputSkew generates a relation where every node sees the same group
+// population but node 0 holds skewFactor times as many tuples as each other
+// node (the paper's input skew: tuples/node differ, groups/node same).
+// skewFactor must be >= 1.
+func InputSkew(nodes int, tuples, groups int64, skewFactor float64, seed int64) *Relation {
+	if skewFactor < 1 {
+		panic("workload: skewFactor must be >= 1")
+	}
+	if nodes < 1 {
+		panic("workload: nodes must be >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// node 0 gets w0 = skewFactor*w tuples, others w, with w0+(n-1)w = total.
+	w := float64(tuples) / (skewFactor + float64(nodes-1))
+	counts := make([]int64, nodes)
+	counts[0] = int64(skewFactor * w)
+	for i := 1; i < nodes; i++ {
+		counts[i] = int64(w)
+	}
+	var sum int64
+	for _, c := range counts {
+		sum += c
+	}
+	counts[0] += tuples - sum // absorb rounding on the skewed node
+	r := &Relation{
+		PerNode: make([][]tuple.Tuple, nodes),
+		Groups:  groups,
+		Name:    fmt.Sprintf("inputskew(x%.1f)", skewFactor),
+	}
+	var seq int64
+	for n := 0; n < nodes; n++ {
+		part := make([]tuple.Tuple, 0, counts[n])
+		for i := int64(0); i < counts[n]; i++ {
+			var k tuple.Key
+			if seq < groups {
+				k = tuple.Key(seq) // guarantee all groups appear
+			} else {
+				k = tuple.Key(rng.Int63n(groups))
+			}
+			part = append(part, tuple.Tuple{Key: k, Val: val(k, seq)})
+			seq++
+		}
+		r.PerNode[n] = part
+	}
+	if groups > r.Tuples() {
+		panic("workload: more groups than tuples")
+	}
+	return r
+}
+
+// OutputSkew generates the paper's Section 6 output-skew relation: every
+// node holds the same number of tuples, but the first half of the nodes
+// hold ONE group value each, while the remaining nodes share all the other
+// groups. With 8 nodes and G groups this is exactly the Figure 9 setup
+// ("four nodes have only one group value each, and the rest of the tuples
+// are distributed among the remaining nodes").
+func OutputSkew(nodes int, tuples, groups int64, seed int64) *Relation {
+	if nodes < 2 {
+		panic("workload: OutputSkew needs at least 2 nodes")
+	}
+	oneGroupNodes := nodes / 2
+	if groups < int64(oneGroupNodes)+1 {
+		panic(fmt.Sprintf("workload: OutputSkew needs at least %d groups", oneGroupNodes+1))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perNode := tuples / int64(nodes)
+	if rest := groups - int64(oneGroupNodes); rest > tuples-int64(oneGroupNodes)*perNode {
+		panic("workload: OutputSkew has more groups than tuples on the unskewed nodes")
+	}
+	r := &Relation{
+		PerNode: make([][]tuple.Tuple, nodes),
+		Groups:  groups,
+		Name:    fmt.Sprintf("outputskew(G=%d)", groups),
+	}
+	var seq int64
+	// Nodes [0, oneGroupNodes): a single dedicated group each.
+	for n := 0; n < oneGroupNodes; n++ {
+		k := tuple.Key(n)
+		part := make([]tuple.Tuple, perNode)
+		for i := range part {
+			part[i] = tuple.Tuple{Key: k, Val: val(k, seq)}
+			seq++
+		}
+		r.PerNode[n] = part
+	}
+	// Remaining nodes share groups [oneGroupNodes, groups).
+	rest := groups - int64(oneGroupNodes)
+	restSeq := int64(0)
+	for n := oneGroupNodes; n < nodes; n++ {
+		cnt := perNode
+		if n == nodes-1 {
+			cnt = tuples - seq - (int64(nodes-1-n))*perNode // absorb remainder
+		}
+		part := make([]tuple.Tuple, 0, cnt)
+		for i := int64(0); i < cnt; i++ {
+			var k tuple.Key
+			if restSeq < rest {
+				k = tuple.Key(int64(oneGroupNodes) + restSeq) // cover all groups
+			} else {
+				k = tuple.Key(int64(oneGroupNodes) + rng.Int63n(rest))
+			}
+			restSeq++
+			part = append(part, tuple.Tuple{Key: k, Val: val(k, seq)})
+			seq++
+		}
+		r.PerNode[n] = part
+	}
+	return r
+}
+
+// RangePartitioned generates a relation declustered by key range instead
+// of round-robin: group g's tuples all live on node g·nodes/groups. Under
+// this placement every group is node-local, so a local aggregation phase
+// compresses perfectly — the placement-sensitivity counterpoint to the
+// paper's round-robin assumption (under which every group appears on every
+// node once tuples-per-group ≥ N).
+func RangePartitioned(nodes int, tuples, groups int64, seed int64) *Relation {
+	if nodes < 1 {
+		panic("workload: nodes must be >= 1")
+	}
+	if groups < 1 || groups > tuples {
+		panic(fmt.Sprintf("workload: groups %d out of range [1,%d]", groups, tuples))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	r := &Relation{
+		PerNode: make([][]tuple.Tuple, nodes),
+		Groups:  groups,
+		Name:    fmt.Sprintf("range(G=%d)", groups),
+	}
+	for i := int64(0); i < tuples; i++ {
+		var k tuple.Key
+		if i < groups {
+			k = tuple.Key(i) // guarantee coverage
+		} else {
+			k = tuple.Key(rng.Int63n(groups))
+		}
+		node := int(int64(k) * int64(nodes) / groups)
+		if node >= nodes {
+			node = nodes - 1
+		}
+		r.PerNode[node] = append(r.PerNode[node], tuple.Tuple{Key: k, Val: val(k, i)})
+	}
+	return r
+}
+
+// Zipf generates a relation whose group frequencies follow a Zipf
+// distribution with parameter s > 1 over groups keys — an extension beyond
+// the paper's uniform assumption, useful for stressing the adaptive
+// algorithms with heavily repeated groups.
+func Zipf(nodes int, tuples, groups int64, s float64, seed int64) *Relation {
+	if s <= 1 {
+		panic("workload: Zipf parameter must be > 1")
+	}
+	if groups < 1 {
+		panic("workload: groups must be >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(groups-1))
+	r := &Relation{
+		PerNode: make([][]tuple.Tuple, nodes),
+		Name:    fmt.Sprintf("zipf(s=%.2f)", s),
+	}
+	seen := make(map[tuple.Key]bool)
+	for i := int64(0); i < tuples; i++ {
+		k := tuple.Key(z.Uint64())
+		seen[k] = true
+		n := int(i) % nodes
+		r.PerNode[n] = append(r.PerNode[n], tuple.Tuple{Key: k, Val: val(k, i)})
+	}
+	r.Groups = int64(len(seen))
+	return r
+}
+
+// TPCDQuery identifies one of the TPC-D-flavoured aggregation workloads.
+type TPCDQuery int
+
+const (
+	// TPCDQ1 mimics TPC-D Q1: GROUP BY (returnflag, linestatus), a handful
+	// of groups — the scalar-ish end of the selectivity range.
+	TPCDQ1 TPCDQuery = iota
+	// TPCDQ3 mimics an order-key grouping: one group per ~4 tuples — the
+	// duplicate-elimination end of the range.
+	TPCDQ3
+)
+
+// TPCD generates a lineitem-like relation for the given query shape.
+// Q1 groups by a 6-value flag pair; Q3 groups by a dense order key.
+func TPCD(nodes int, tuples int64, q TPCDQuery, seed int64) *Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := &Relation{PerNode: make([][]tuple.Tuple, nodes)}
+	switch q {
+	case TPCDQ1:
+		r.Groups = 6
+		r.Name = "tpcd-q1"
+		for i := int64(0); i < tuples; i++ {
+			k := tuple.Key(i % 6) // ensure coverage; flags are near-uniform
+			if i >= 6 {
+				k = tuple.Key(rng.Intn(6))
+			}
+			n := int(i) % nodes
+			// quantity 1..50, like l_quantity
+			r.PerNode[n] = append(r.PerNode[n], tuple.Tuple{Key: k, Val: 1 + rng.Int63n(50)})
+		}
+	case TPCDQ3:
+		orders := tuples / 4
+		if orders < 1 {
+			orders = 1
+		}
+		r.Groups = orders
+		r.Name = "tpcd-q3"
+		for i := int64(0); i < tuples; i++ {
+			var k tuple.Key
+			if i < orders {
+				k = tuple.Key(i)
+			} else {
+				k = tuple.Key(rng.Int63n(orders))
+			}
+			n := int(i) % nodes
+			r.PerNode[n] = append(r.PerNode[n], tuple.Tuple{Key: k, Val: 1 + rng.Int63n(100000)})
+		}
+	default:
+		panic("workload: unknown TPCD query")
+	}
+	return r
+}

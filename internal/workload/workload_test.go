@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parallelagg/internal/tuple"
+)
+
+func distinct(r *Relation) map[tuple.Key]bool {
+	m := map[tuple.Key]bool{}
+	for _, part := range r.PerNode {
+		for _, t := range part {
+			m[t.Key] = true
+		}
+	}
+	return m
+}
+
+func TestUniformExactGroupsAndTuples(t *testing.T) {
+	r := Uniform(8, 10_000, 137, 1)
+	if got := r.Tuples(); got != 10_000 {
+		t.Errorf("Tuples = %d", got)
+	}
+	if got := int64(len(distinct(r))); got != 137 {
+		t.Errorf("distinct groups = %d, want 137", got)
+	}
+	if r.Groups != 137 {
+		t.Errorf("Groups = %d", r.Groups)
+	}
+	if s := r.Selectivity(); s != 137.0/10000.0 {
+		t.Errorf("Selectivity = %v", s)
+	}
+}
+
+func TestUniformRoundRobinBalance(t *testing.T) {
+	r := Uniform(7, 1000, 10, 2)
+	for i, part := range r.PerNode {
+		if len(part) < 1000/7 || len(part) > 1000/7+1 {
+			t.Errorf("node %d holds %d tuples", i, len(part))
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a, b := Uniform(4, 500, 50, 42), Uniform(4, 500, 50, 42)
+	for n := range a.PerNode {
+		for i := range a.PerNode[n] {
+			if a.PerNode[n][i] != b.PerNode[n][i] {
+				t.Fatalf("node %d tuple %d differs across same-seed runs", n, i)
+			}
+		}
+	}
+	c := Uniform(4, 500, 50, 43)
+	same := true
+	for n := range a.PerNode {
+		for i := range a.PerNode[n] {
+			if a.PerNode[n][i] != c.PerNode[n][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical relations")
+	}
+}
+
+func TestUniformScalarAggregate(t *testing.T) {
+	r := Uniform(4, 100, 1, 3)
+	if len(distinct(r)) != 1 {
+		t.Error("scalar workload has more than one group")
+	}
+}
+
+func TestUniformBadArgsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero groups": func() { Uniform(4, 100, 0, 1) },
+		"too many":    func() { Uniform(4, 100, 101, 1) },
+		"zero nodes":  func() { Uniform(0, 100, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReferenceMatchesManualFold(t *testing.T) {
+	r := Uniform(3, 1000, 10, 7)
+	ref := r.Reference()
+	if len(ref) != 10 {
+		t.Fatalf("reference has %d groups", len(ref))
+	}
+	var total int64
+	for _, s := range ref {
+		total += s.Count
+	}
+	if total != 1000 {
+		t.Errorf("reference counts sum to %d, want 1000", total)
+	}
+}
+
+func TestDupElim(t *testing.T) {
+	r := DupElim(4, 1000, 2, 5)
+	if r.Groups != 500 {
+		t.Errorf("Groups = %d, want 500", r.Groups)
+	}
+	if got := int64(len(distinct(r))); got != 500 {
+		t.Errorf("distinct = %d", got)
+	}
+}
+
+func TestInputSkew(t *testing.T) {
+	r := InputSkew(4, 10_000, 100, 3.0, 9)
+	if got := r.Tuples(); got != 10_000 {
+		t.Errorf("Tuples = %d", got)
+	}
+	if got := int64(len(distinct(r))); got != 100 {
+		t.Errorf("distinct = %d, want 100", got)
+	}
+	n0 := len(r.PerNode[0])
+	n1 := len(r.PerNode[1])
+	// Node 0 should hold roughly 3x the tuples of any other node.
+	if float64(n0) < 2.5*float64(n1) || float64(n0) > 3.6*float64(n1) {
+		t.Errorf("skewed node holds %d vs %d; want ≈3x", n0, n1)
+	}
+}
+
+func TestOutputSkewShape(t *testing.T) {
+	r := OutputSkew(8, 8000, 100, 11)
+	if got := int64(len(distinct(r))); got != 100 {
+		t.Errorf("distinct = %d, want 100", got)
+	}
+	// First 4 nodes hold exactly one group each.
+	for n := 0; n < 4; n++ {
+		g := map[tuple.Key]bool{}
+		for _, tp := range r.PerNode[n] {
+			g[tp.Key] = true
+		}
+		if len(g) != 1 {
+			t.Errorf("skewed node %d holds %d groups, want 1", n, len(g))
+		}
+	}
+	// All nodes hold the same number of tuples.
+	for n := 1; n < 8; n++ {
+		if len(r.PerNode[n]) != len(r.PerNode[0]) {
+			t.Errorf("node %d holds %d tuples, node 0 holds %d", n, len(r.PerNode[n]), len(r.PerNode[0]))
+		}
+	}
+	if got := r.Tuples(); got != 8000 {
+		t.Errorf("Tuples = %d", got)
+	}
+}
+
+func TestOutputSkewTooManyGroupsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("did not panic")
+		}
+	}()
+	OutputSkew(8, 80, 1000, 1)
+}
+
+func TestZipf(t *testing.T) {
+	r := Zipf(4, 10_000, 1000, 1.5, 13)
+	if r.Groups != int64(len(distinct(r))) {
+		t.Errorf("Groups = %d, distinct = %d", r.Groups, len(distinct(r)))
+	}
+	// Zipf should concentrate mass: the most frequent key should dominate.
+	counts := map[tuple.Key]int{}
+	for _, part := range r.PerNode {
+		for _, tp := range part {
+			counts[tp.Key]++
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 10_000/10 {
+		t.Errorf("hottest group has %d of 10000 tuples; expected heavy skew", max)
+	}
+}
+
+func TestTPCDQ1(t *testing.T) {
+	r := TPCD(8, 5000, TPCDQ1, 3)
+	if r.Groups != 6 || int64(len(distinct(r))) != 6 {
+		t.Errorf("Q1 groups = %d (distinct %d), want 6", r.Groups, len(distinct(r)))
+	}
+	for _, part := range r.PerNode {
+		for _, tp := range part {
+			if tp.Val < 1 || tp.Val > 50 {
+				t.Fatalf("Q1 quantity %d out of range", tp.Val)
+			}
+		}
+	}
+}
+
+func TestTPCDQ3(t *testing.T) {
+	r := TPCD(8, 4000, TPCDQ3, 3)
+	if r.Groups != 1000 {
+		t.Errorf("Q3 groups = %d, want 1000", r.Groups)
+	}
+	if int64(len(distinct(r))) != 1000 {
+		t.Errorf("Q3 distinct = %d", len(distinct(r)))
+	}
+}
+
+// Property: for any generator parameters, the reference aggregation
+// accounts for every tuple exactly once.
+func TestReferenceCountsProperty(t *testing.T) {
+	f := func(tup uint16, grp uint16, seed int64) bool {
+		tuples := int64(tup%2000) + 1
+		groups := int64(grp)%tuples + 1
+		r := Uniform(5, tuples, groups, seed)
+		ref := r.Reference()
+		if int64(len(ref)) != groups {
+			return false
+		}
+		var total int64
+		for _, s := range ref {
+			total += s.Count
+		}
+		return total == tuples
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangePartitionedGroupsAreNodeLocal(t *testing.T) {
+	r := RangePartitioned(4, 8000, 400, 14)
+	if got := int64(len(distinct(r))); got != 400 {
+		t.Fatalf("distinct = %d, want 400", got)
+	}
+	// No group key appears on two nodes.
+	owner := map[tuple.Key]int{}
+	for n, part := range r.PerNode {
+		for _, tp := range part {
+			if prev, ok := owner[tp.Key]; ok && prev != n {
+				t.Fatalf("group %d on both node %d and node %d", tp.Key, prev, n)
+			}
+			owner[tp.Key] = n
+		}
+	}
+	if got := r.Tuples(); got != 8000 {
+		t.Errorf("Tuples = %d", got)
+	}
+}
+
+func TestRangePartitionedVersusRoundRobinLocalCompression(t *testing.T) {
+	// Under range placement, local distinct per node ≈ groups/N; under
+	// round-robin it approaches min(groups, tuples/N) — the analyzer
+	// should show the difference.
+	groups := int64(1000)
+	rr := Uniform(4, 8000, groups, 15).Analyze()
+	rp := RangePartitioned(4, 8000, groups, 15).Analyze()
+	var rrSum, rpSum int64
+	for i := 0; i < 4; i++ {
+		rrSum += rr.PerNode[i].Groups
+		rpSum += rp.PerNode[i].Groups
+	}
+	if rpSum != groups {
+		t.Errorf("range placement node-group counts sum to %d, want %d", rpSum, groups)
+	}
+	if rrSum < 2*groups {
+		t.Errorf("round-robin node-group counts sum to %d; expected heavy duplication", rrSum)
+	}
+}

@@ -1,0 +1,58 @@
+// Package live re-exports the real (non-simulated) parallel aggregation
+// engine: the paper's algorithms executed with actual goroutines and
+// channels on the host machine. Use it when you want a fast multicore
+// GROUP BY rather than a reproducible simulation; see parallelagg's root
+// package for the simulated cluster and the paper's experiments.
+//
+//	res, err := live.Aggregate(live.Config{}, tuples, live.AdaptiveTwoPhase)
+package live
+
+import (
+	"parallelagg/internal/live"
+	"parallelagg/internal/tuple"
+)
+
+// Tuple is a projected relation tuple: group key and aggregated value.
+type Tuple = tuple.Tuple
+
+// Key is a GROUP BY key; AggState the mergeable aggregate state of one
+// group (COUNT/SUM/MIN/MAX; AVG = Sum/Count).
+type (
+	Key      = tuple.Key
+	AggState = tuple.AggState
+)
+
+// NewState returns the aggregate state of a group holding one value.
+func NewState(v int64) AggState { return tuple.NewState(v) }
+
+// Algorithm selects the parallel strategy.
+type Algorithm = live.Algorithm
+
+// The implemented strategies.
+const (
+	TwoPhase               = live.TwoPhase
+	Repartitioning         = live.Repartitioning
+	AdaptiveTwoPhase       = live.AdaptiveTwoPhase
+	AdaptiveRepartitioning = live.AdaptiveRepartitioning
+)
+
+// Algorithms lists the implemented strategies.
+func Algorithms() []Algorithm { return live.Algorithms() }
+
+// Config tunes the engine; the zero value uses GOMAXPROCS workers and
+// unbounded hash tables.
+type Config = live.Config
+
+// Result is the outcome of one parallel aggregation.
+type Result = live.Result
+
+// Aggregate runs alg over the tuples with cfg.Workers parallel workers.
+func Aggregate(cfg Config, tuples []Tuple, alg Algorithm) (*Result, error) {
+	return live.Aggregate(cfg, tuples, alg)
+}
+
+// AggregatePartitioned is Aggregate with caller-controlled placement (one
+// input slice per worker), for reproducing the paper's skew scenarios.
+func AggregatePartitioned(cfg Config, parts [][]Tuple, alg Algorithm) (*Result, error) {
+	return live.AggregatePartitioned(cfg, parts, alg)
+}

@@ -1,0 +1,51 @@
+package live_test
+
+import (
+	"testing"
+
+	"parallelagg/live"
+)
+
+func TestPublicLiveEngine(t *testing.T) {
+	in := make([]live.Tuple, 10_000)
+	for i := range in {
+		in[i] = live.Tuple{Key: live.Key(i % 100), Val: int64(i)}
+	}
+	for _, alg := range live.Algorithms() {
+		res, err := live.Aggregate(live.Config{Workers: 4, TableEntries: 32}, in, alg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(res.Groups) != 100 {
+			t.Errorf("%v: %d groups, want 100", alg, len(res.Groups))
+		}
+		var count int64
+		for _, s := range res.Groups {
+			count += s.Count
+		}
+		if count != 10_000 {
+			t.Errorf("%v: counts sum to %d", alg, count)
+		}
+	}
+}
+
+func TestPublicPartitionedPlacement(t *testing.T) {
+	parts := [][]live.Tuple{
+		{{Key: 1, Val: 5}, {Key: 1, Val: 7}},
+		{{Key: 2, Val: 1}},
+	}
+	res, err := live.AggregatePartitioned(live.Config{}, parts, live.TwoPhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups[1].Sum != 12 || res.Groups[2].Count != 1 {
+		t.Errorf("groups = %v", res.Groups)
+	}
+}
+
+func TestNewState(t *testing.T) {
+	s := live.NewState(9)
+	if s.Count != 1 || s.Sum != 9 || s.Min != 9 || s.Max != 9 {
+		t.Errorf("NewState = %v", s)
+	}
+}

@@ -1,0 +1,55 @@
+package sqlagg_test
+
+import (
+	"testing"
+
+	"parallelagg/live"
+	"parallelagg/sqlagg"
+)
+
+func TestPublicSQLQuery(t *testing.T) {
+	tab := &sqlagg.Table{Schema: sqlagg.Schema{Cols: []sqlagg.Column{
+		{Name: "dept", Type: sqlagg.String},
+		{Name: "salary", Type: sqlagg.Int64},
+	}}}
+	rows := []struct {
+		dept   string
+		salary sqlagg.Value
+	}{
+		{"eng", sqlagg.IntVal(100)},
+		{"eng", sqlagg.IntVal(140)},
+		{"sales", sqlagg.IntVal(90)},
+		{"sales", sqlagg.NullValue},
+	}
+	for _, r := range rows {
+		if err := tab.Append(sqlagg.Row{sqlagg.StrVal(r.dept), r.salary}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sqlagg.Execute(tab, sqlagg.Query{
+		GroupBy: []string{"dept"},
+		Aggs: []sqlagg.Agg{
+			{Func: sqlagg.CountStar, As: "n"},
+			{Func: sqlagg.Avg, Col: "salary", As: "avg_salary"},
+			{Func: sqlagg.Max, Col: "salary", As: "max_salary"},
+		},
+	}, live.Config{Workers: 2}, live.AdaptiveTwoPhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	eng := res.Rows[0]
+	if eng[0].Str != "eng" || eng[1].Int != 2 || eng[2].Int != 120 || eng[3].Int != 140 {
+		t.Errorf("eng row = %v", eng)
+	}
+	sales := res.Rows[1]
+	if sales[1].Int != 2 || sales[2].Int != 90 {
+		t.Errorf("sales row = %v (NULL salary must be ignored by AVG)", sales)
+	}
+	col, err := res.Col("n")
+	if err != nil || len(col) != 2 {
+		t.Errorf("Col(n) = %v, %v", col, err)
+	}
+}
