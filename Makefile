@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet race chaos check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The distributed layer's fault-injection scenarios, race-checked.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/dist/... ./internal/faultnet/...
+
+# What CI runs.
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./...

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -23,6 +24,7 @@ import (
 
 	"parallelagg"
 	"parallelagg/internal/dist"
+	"parallelagg/internal/faultnet"
 )
 
 var algByName = map[string]dist.Algorithm{
@@ -41,6 +43,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator seed (shared)")
 		mem     = flag.Int("mem", 10_000, "local hash table bound (0 = unbounded)")
 		show    = flag.Int("show", 3, "result groups to print")
+
+		dialTimeout = flag.Duration("dial-timeout", 5*time.Second, "cluster formation budget (dial retries with backoff + accepts)")
+		ioTimeout   = flag.Duration("io-timeout", 30*time.Second, "per-frame read/write deadline; a peer silent longer is failed")
+		chaos       = flag.String("chaos", "", "fault-injection spec, e.g. latency=2ms,jitter=1ms,reset=0.01,hang=0.01,acceptfail=0.1,seed=42")
 	)
 	flag.Parse()
 
@@ -59,6 +65,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	cfg := dist.Config{
+		ID:           *id,
+		Addrs:        list,
+		Algorithm:    alg,
+		TableEntries: *mem,
+		DialTimeout:  *dialTimeout,
+		IOTimeout:    *ioTimeout,
+	}
+	if *chaos != "" {
+		fc, err := faultnet.ParseSpec(*chaos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distnode: %v\n", err)
+			os.Exit(2)
+		}
+		inj := faultnet.New(fc)
+		cfg.Dial = inj.Dialer(nil)
+		cfg.WrapListener = inj.Listener
+		fmt.Printf("node %d chaos: %s\n", *id, *chaos)
+	}
+
 	// Every node generates the same relation and takes its partition.
 	rel := parallelagg.Uniform(len(list), *tuples, *groups, *seed)
 
@@ -71,14 +97,14 @@ func main() {
 		*id, list[*id], len(rel.PerNode[*id]), alg)
 
 	start := time.Now()
-	res, err := dist.RunNode(ln, dist.Config{
-		ID:           *id,
-		Addrs:        list,
-		Algorithm:    alg,
-		TableEntries: *mem,
-	}, rel.PerNode[*id])
+	res, err := dist.RunNode(ln, cfg, rel.PerNode[*id])
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "distnode: %v\n", err)
+		var ne *dist.NodeError
+		if errors.As(err, &ne) {
+			fmt.Fprintf(os.Stderr, "distnode: peer failure in phase %q (peer %d): %v\n", ne.Phase, ne.Peer, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "distnode: %v\n", err)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("node %d done in %v: owns %d groups", *id, time.Since(start).Round(time.Millisecond), len(res.Groups))

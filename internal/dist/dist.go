@@ -6,6 +6,16 @@
 // (the same record encodings the simulator's pages use), aggregates its
 // partition, and merges the groups that hash to it.
 //
+// Unlike the PVM original, where a slow or dead peer hung the whole query,
+// the exchange here is failure-safe: every frame read and write carries a
+// deadline (Config.IOTimeout), dialing retries with exponential backoff
+// and jitter, transient accept failures are retried, and the first peer
+// error cancels the scan, merge, and accept sides cooperatively — RunNode
+// returns a structured *NodeError naming the peer and protocol phase, with
+// no leaked goroutines. See the "Failure semantics" sections of README.md
+// and DESIGN.md, and internal/faultnet for the chaos harness that tests
+// all of it.
+//
 // Nodes can run in one process (the in-process Run launcher used by tests
 // and examples) or as separate OS processes given each other's addresses
 // (RunNode with a pre-bound listener) — the wire protocol is identical.
@@ -14,6 +24,7 @@ package dist
 import (
 	"bufio"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -80,8 +91,27 @@ type Config struct {
 	InitSeg     int
 	SwitchRatio float64
 
-	// DialTimeout bounds the whole peer-connection phase. Default 5s.
+	// DialTimeout bounds the whole cluster-formation phase: dialing every
+	// peer (with exponential backoff + jitter between attempts) and
+	// retrying transient accept failures. Default 5s.
 	DialTimeout time.Duration
+
+	// IOTimeout bounds every frame read and write on established
+	// connections. A peer silent for longer than IOTimeout — dead,
+	// hanging, or not draining its socket — fails that operation with a
+	// deadline error and aborts the node. Default 30s; negative disables
+	// deadlines entirely (the pre-hardening behaviour).
+	IOTimeout time.Duration
+
+	// Dial, if set, replaces net.DialTimeout for outgoing connections.
+	// Fault injection (internal/faultnet's Injector.Dialer) and tests
+	// hook here.
+	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
+
+	// WrapListener, if set, wraps the node's listener before the exchange
+	// starts — the accept-side fault-injection hook, applied by RunNode
+	// and therefore also by the in-process Run/RunConfigured launchers.
+	WrapListener func(net.Listener) net.Listener
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +120,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 5 * time.Second
+	}
+	if c.IOTimeout == 0 {
+		c.IOTimeout = 30 * time.Second
+	} else if c.IOTimeout < 0 {
+		c.IOTimeout = 0
 	}
 	if c.InitSeg <= 0 {
 		c.InitSeg = 4096
@@ -111,10 +146,53 @@ type NodeResult struct {
 	PartialsSent int64
 }
 
+// connTracker collects every live connection so cancellation can close
+// them all, unblocking any goroutine parked in a read or write.
+type connTracker struct {
+	mu     sync.Mutex
+	closed bool
+	conns  []net.Conn
+}
+
+// add registers c, or closes it immediately if cancellation already ran.
+func (t *connTracker) add(c net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		c.Close()
+		return false
+	}
+	t.conns = append(t.conns, c)
+	return true
+}
+
+func (t *connTracker) closeAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	for _, c := range t.conns {
+		c.Close()
+	}
+	t.conns = nil
+}
+
+// incoming is one unit of accept-side input to the merge loop: a frame or
+// a terminal error from one peer connection.
+type incoming struct {
+	f   frame
+	err error
+}
+
 // RunNode executes one node's role: it must be called with a listener
 // already bound to cfg.Addrs[cfg.ID] (so peers can connect regardless of
 // start order). It returns the final aggregate states of the groups this
 // node owns. The listener is closed before returning.
+//
+// On any peer failure — dial exhaustion, reset, deadline expiry, protocol
+// garbage — RunNode cancels all sides of the exchange, waits for every
+// goroutine it started, and returns a *NodeError identifying the peer and
+// phase. It never blocks longer than roughly IOTimeout past the failure
+// and never leaks goroutines.
 func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, error) {
 	cfg = cfg.withDefaults()
 	n := len(cfg.Addrs)
@@ -124,91 +202,140 @@ func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, erro
 	if cfg.ID < 0 || cfg.ID >= n {
 		return nil, fmt.Errorf("dist: node id %d out of range [0,%d)", cfg.ID, n)
 	}
+	if cfg.WrapListener != nil {
+		ln = cfg.WrapListener(ln)
+	}
+
+	// Cooperative cancellation: the first error (from any side) closes
+	// done, the listener, and every tracked connection. Closing the
+	// connections bounds how long any goroutine can stay parked in a read
+	// or write; done covers the channel operations.
+	tracker := &connTracker{}
+	done := make(chan struct{})
+	var cancelOnce sync.Once
+	cancel := func() {
+		cancelOnce.Do(func() {
+			close(done)
+			ln.Close()
+			tracker.closeAll()
+		})
+	}
+	defer cancel()
 	defer ln.Close()
 
 	// Accept side: n incoming connections (every node, including
-	// ourselves, dials every node). Frames are funnelled into one channel;
-	// the merge loop is the only consumer.
-	type incoming struct {
-		f   frame
-		err error
-	}
+	// ourselves, dials every node). Frames are funnelled into one
+	// channel; the merge loop is the only consumer. Errors travel on the
+	// same channel so the merge loop is also the single decision point
+	// for aborting. Every send selects on done so accepters can never
+	// strand on a full frames channel after the merge loop has exited.
 	frames := make(chan incoming, 4*n)
 	var accepters sync.WaitGroup
-	accepters.Add(n)
-	acceptErr := make(chan error, 1)
+	send := func(in incoming) bool {
+		select {
+		case frames <- in:
+			return true
+		case <-done:
+			return false
+		}
+	}
+	var connected atomic.Int32
+	formed := make(chan struct{})
+	accepters.Add(1)
 	go func() {
+		defer accepters.Done()
+		acceptDeadline := time.Now().Add(cfg.DialTimeout)
 		for i := 0; i < n; i++ {
 			conn, err := ln.Accept()
 			if err != nil {
-				select {
-				case acceptErr <- fmt.Errorf("dist: node %d accept: %w", cfg.ID, err):
-				default:
+				if isTemporary(err) && time.Now().Before(acceptDeadline) {
+					select {
+					case <-time.After(time.Millisecond):
+						i--
+						continue
+					case <-done:
+						return
+					}
 				}
-				for ; i < n; i++ {
-					accepters.Done()
-				}
+				send(incoming{err: nodeErr(cfg.ID, -1, PhaseAccept, err)})
 				return
 			}
+			if !tracker.add(conn) {
+				return
+			}
+			connected.Add(1)
+			accepters.Add(1)
 			go func(conn net.Conn) {
 				defer accepters.Done()
 				defer conn.Close()
 				r := bufio.NewReaderSize(conn, 1<<16)
-				if _, err := readHello(r); err != nil {
-					frames <- incoming{err: fmt.Errorf("dist: node %d hello: %w", cfg.ID, err)}
+				arm := func() {
+					if cfg.IOTimeout > 0 {
+						conn.SetReadDeadline(time.Now().Add(cfg.IOTimeout))
+					}
+				}
+				arm()
+				src, err := readHello(r)
+				if err != nil {
+					send(incoming{err: nodeErr(cfg.ID, -1, PhaseHello, err)})
 					return
 				}
 				for {
+					arm()
 					f, err := readFrame(r)
 					if err != nil {
-						frames <- incoming{err: fmt.Errorf("dist: node %d read: %w", cfg.ID, err)}
+						send(incoming{err: nodeErr(cfg.ID, src, PhaseRead, err)})
 						return
 					}
-					frames <- incoming{f: f}
+					if !send(incoming{f: f}) {
+						return
+					}
 					if f.kind == frameEOS {
 						return
 					}
 				}
 			}(conn)
 		}
+		close(formed)
 	}()
 
-	// Dial side: one outgoing connection per node, with retries while the
-	// cluster comes up.
-	outs := make([]*bufio.Writer, n)
-	conns := make([]net.Conn, n)
-	deadline := time.Now().Add(cfg.DialTimeout)
-	for j := 0; j < n; j++ {
-		var conn net.Conn
-		var err error
-		for {
-			conn, err = net.DialTimeout("tcp", cfg.Addrs[j], time.Second)
-			if err == nil || time.Now().After(deadline) {
-				break
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("dist: node %d dialing node %d (%s): %w", cfg.ID, j, cfg.Addrs[j], err)
-		}
-		conns[j] = conn
-		outs[j] = bufio.NewWriterSize(conn, 1<<16)
-		if err := writeHello(outs[j], cfg.ID); err != nil {
-			return nil, fmt.Errorf("dist: node %d hello to %d: %w", cfg.ID, j, err)
-		}
-	}
-	defer func() {
-		for _, c := range conns {
-			if c != nil {
-				c.Close()
-			}
+	// Formation watchdog: a peer that never dials us would otherwise park
+	// ln.Accept forever with nothing to trip a deadline. If the full mesh
+	// has not formed within DialTimeout, declare the cluster broken.
+	accepters.Add(1)
+	go func() {
+		defer accepters.Done()
+		timer := time.NewTimer(cfg.DialTimeout)
+		defer timer.Stop()
+		select {
+		case <-formed:
+		case <-done:
+		case <-timer.C:
+			ln.Close() // unblock the accept loop
+			send(incoming{err: nodeErr(cfg.ID, -1, PhaseAccept,
+				fmt.Errorf("cluster formation timed out after %v (%d/%d peers connected)",
+					cfg.DialTimeout, connected.Load(), n))})
 		}
 	}()
+
+	// Dial side: one outgoing connection per node, with exponential
+	// backoff + jitter while the cluster comes up, all bounded by
+	// DialTimeout.
+	peers, err := dialPeers(cfg, tracker)
+	if err != nil {
+		// Nobody is reading frames yet, but cancel closes done, so every
+		// accepter's pending send unblocks and the wait below terminates.
+		cancel()
+		accepters.Wait()
+		return nil, err
+	}
 
 	// Merge side runs concurrently with the scan so the exchange never
 	// backs up into a TCP deadlock. The fallback flag carries Adaptive
 	// Repartitioning's end-of-phase signal from the merge loop (which sees
-	// the frames) to the scan loop (which must change strategy).
+	// the frames) to the scan loop (which must change strategy). On the
+	// first peer error the merge loop records it and cancels, which fails
+	// the scan side's next write and unblocks every accepter.
 	var fallback atomic.Bool
 	merged := make(map[tuple.Key]tuple.AggState)
 	var mergeErr error
@@ -226,9 +353,23 @@ func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, erro
 			}
 		}
 		for eos < n {
-			in := <-frames
+			var in incoming
+			select {
+			case in = <-frames:
+			case <-done:
+				return
+			}
 			if in.err != nil {
+				// If cancellation already ran, this error is just the echo
+				// of our own connection teardown; the root cause is being
+				// reported by whichever side triggered the cancel.
+				select {
+				case <-done:
+					return
+				default:
+				}
 				mergeErr = in.err
+				cancel()
 				return
 			}
 			switch in.f.kind {
@@ -250,25 +391,29 @@ func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, erro
 
 	// Scan side: the same per-node state machine as the live engine.
 	res := &NodeResult{}
-	switched, err := scanAndShip(cfg, part, outs, &fallback, res)
-	if err != nil {
-		return nil, err
-	}
-	for j := 0; j < n; j++ {
-		if err := writeEOSFrame(outs[j]); err != nil {
-			return nil, fmt.Errorf("dist: node %d EOS to %d: %w", cfg.ID, j, err)
+	switched, scanErr := scanAndShip(cfg, part, peers, &fallback, res)
+	if scanErr == nil {
+		for _, p := range peers {
+			if err := p.writeEOS(); err != nil {
+				scanErr = nodeErr(cfg.ID, p.id, PhaseWrite, err)
+				break
+			}
 		}
+	}
+	if scanErr != nil {
+		cancel()
 	}
 
 	mergeDone.Wait()
+	accepters.Wait()
+	// The merge loop saw the root cause (a peer's failure); the scan error
+	// is often just the echo of cancellation ("use of closed connection"),
+	// so the merge error wins when both are set.
 	if mergeErr != nil {
 		return nil, mergeErr
 	}
-	accepters.Wait()
-	select {
-	case err := <-acceptErr:
-		return nil, err
-	default:
+	if scanErr != nil {
+		return nil, scanErr
 	}
 	// Sanity: every merged group must hash to this node.
 	for k := range merged {
@@ -281,12 +426,66 @@ func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, erro
 	return res, nil
 }
 
-// scanAndShip runs the scan-side state machine, writing frames to outs.
+// dialPeers connects to every node with exponential backoff + jitter,
+// bounded overall by cfg.DialTimeout, and performs the hello handshake.
+// Connections are registered with tracker so cancellation closes them.
+func dialPeers(cfg Config, tracker *connTracker) ([]*peer, error) {
+	n := len(cfg.Addrs)
+	dial := cfg.Dial
+	if dial == nil {
+		dial = net.DialTimeout
+	}
+	peers := make([]*peer, n)
+	deadline := time.Now().Add(cfg.DialTimeout)
+	for j := 0; j < n; j++ {
+		backoff := 2 * time.Millisecond
+		var conn net.Conn
+		var err error
+		for {
+			attempt := time.Until(deadline)
+			if attempt > time.Second {
+				attempt = time.Second
+			}
+			if attempt < 50*time.Millisecond {
+				attempt = 50 * time.Millisecond
+			}
+			conn, err = dial("tcp", cfg.Addrs[j], attempt)
+			if err == nil || time.Now().After(deadline) {
+				break
+			}
+			// Full jitter on a doubling base, so a cluster of nodes
+			// restarting together doesn't hammer a recovering peer in
+			// lockstep.
+			sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+			if until := time.Until(deadline); sleep > until {
+				sleep = until
+			}
+			time.Sleep(sleep)
+			if backoff < 250*time.Millisecond {
+				backoff *= 2
+			}
+		}
+		if err != nil {
+			return nil, nodeErr(cfg.ID, j, PhaseDial, err)
+		}
+		if !tracker.add(conn) {
+			return nil, nodeErr(cfg.ID, j, PhaseDial, net.ErrClosed)
+		}
+		p := &peer{id: j, conn: conn, w: bufio.NewWriterSize(conn, 1<<16), timeout: cfg.IOTimeout}
+		if err := p.writeHello(cfg.ID); err != nil {
+			return nil, nodeErr(cfg.ID, j, PhaseHello, err)
+		}
+		peers[j] = p
+	}
+	return peers, nil
+}
+
+// scanAndShip runs the scan-side state machine, writing frames to peers.
 // fallback carries the Adaptive Repartitioning end-of-phase signal in both
 // directions: the merge loop sets it when another node broadcasts, and
 // this side sets it (and broadcasts) when its own observation triggers.
-func scanAndShip(cfg Config, part []tuple.Tuple, outs []*bufio.Writer, fallback *atomic.Bool, res *NodeResult) (bool, error) {
-	n := len(outs)
+func scanAndShip(cfg Config, part []tuple.Tuple, peers []*peer, fallback *atomic.Bool, res *NodeResult) (bool, error) {
+	n := len(peers)
 	local := make(map[tuple.Key]tuple.AggState)
 	bound := cfg.TableEntries
 	routing := cfg.Algorithm == Repartitioning || cfg.Algorithm == AdaptiveRepartitioning
@@ -309,8 +508,8 @@ func scanAndShip(cfg Config, part []tuple.Tuple, outs []*bufio.Writer, fallback 
 		d := t.Key.Dest(n)
 		rawBuf[d] = append(rawBuf[d], t)
 		if len(rawBuf[d]) >= cfg.Batch {
-			if err := writeRawFrame(outs[d], rawBuf[d]); err != nil {
-				return err
+			if err := peers[d].writeRaw(rawBuf[d]); err != nil {
+				return nodeErr(cfg.ID, d, PhaseWrite, err)
 			}
 			res.RawSent += int64(len(rawBuf[d]))
 			rawBuf[d] = rawBuf[d][:0]
@@ -325,8 +524,8 @@ func scanAndShip(cfg Config, part []tuple.Tuple, outs []*bufio.Writer, fallback 
 		}
 		for d := 0; d < n; d++ {
 			if len(partBuf[d]) > 0 {
-				if err := writePartialFrame(outs[d], partBuf[d]); err != nil {
-					return err
+				if err := peers[d].writePartials(partBuf[d]); err != nil {
+					return nodeErr(cfg.ID, d, PhaseWrite, err)
 				}
 				res.PartialsSent += int64(len(partBuf[d]))
 			}
@@ -358,8 +557,8 @@ func scanAndShip(cfg Config, part []tuple.Tuple, outs []*bufio.Writer, fallback 
 					routing = false
 					switched = true
 					for d := 0; d < n; d++ {
-						if err := writeEOPFrame(outs[d]); err != nil {
-							return switched, err
+						if err := peers[d].writeEOP(); err != nil {
+							return switched, nodeErr(cfg.ID, d, PhaseWrite, err)
 						}
 					}
 				}
@@ -405,8 +604,8 @@ func scanAndShip(cfg Config, part []tuple.Tuple, outs []*bufio.Writer, fallback 
 	}
 	for d := 0; d < n; d++ {
 		if len(rawBuf[d]) > 0 {
-			if err := writeRawFrame(outs[d], rawBuf[d]); err != nil {
-				return switched, err
+			if err := peers[d].writeRaw(rawBuf[d]); err != nil {
+				return switched, nodeErr(cfg.ID, d, PhaseWrite, err)
 			}
 			res.RawSent += int64(len(rawBuf[d]))
 		}
@@ -433,7 +632,9 @@ func Run(parts [][]tuple.Tuple, alg Algorithm, tableEntries int) (map[tuple.Key]
 }
 
 // RunConfigured is Run with full per-node configuration control: template
-// is copied to every node with ID and Addrs filled in.
+// is copied to every node with ID and Addrs filled in. Fault-injection
+// hooks on the template (Dial, WrapListener) apply to every node, so chaos
+// scenarios run in-process exactly as they would across machines.
 func RunConfigured(parts [][]tuple.Tuple, template Config) (*ClusterResult, error) {
 	n := len(parts)
 	if n == 0 {

@@ -3,6 +3,7 @@ package dist
 import (
 	"net"
 	"testing"
+	"time"
 
 	"parallelagg/internal/tuple"
 	"parallelagg/internal/workload"
@@ -118,6 +119,23 @@ func TestRunNodeValidatesConfig(t *testing.T) {
 	ln2, _ := net.Listen("tcp", "127.0.0.1:0")
 	if _, err := RunNode(ln2, Config{ID: 5, Addrs: []string{"x"}}, nil); err == nil {
 		t.Error("out-of-range id accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Batch != 1024 || c.DialTimeout != 5*time.Second || c.IOTimeout != 30*time.Second ||
+		c.InitSeg != 4096 || c.SwitchRatio != 0.1 {
+		t.Errorf("defaults = %+v", c)
+	}
+	// Negative IOTimeout opts out of deadlines entirely.
+	if got := (Config{IOTimeout: -1}).withDefaults().IOTimeout; got != 0 {
+		t.Errorf("IOTimeout(-1) -> %v, want 0 (disabled)", got)
+	}
+	// Explicit values survive.
+	c = Config{IOTimeout: time.Second, DialTimeout: time.Second}.withDefaults()
+	if c.IOTimeout != time.Second || c.DialTimeout != time.Second {
+		t.Errorf("explicit timeouts clobbered: %+v", c)
 	}
 }
 

@@ -1,0 +1,57 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Phase names the protocol step a failure happened in, so an operator can
+// tell a cluster-formation problem (dial, hello, accept) from a
+// mid-exchange one (read, write).
+type Phase string
+
+const (
+	PhaseDial   Phase = "dial"
+	PhaseHello  Phase = "hello"
+	PhaseAccept Phase = "accept"
+	PhaseRead   Phase = "read"
+	PhaseWrite  Phase = "write"
+)
+
+// NodeError is the structured error RunNode returns for any peer-related
+// failure: which node observed it, which peer was involved (-1 when the
+// peer is not yet identified, e.g. an accept failure or a connection that
+// died before its hello), and in which protocol phase. Use errors.As to
+// recover it and errors.Is/As on Err for the underlying cause (timeouts
+// satisfy os.ErrDeadlineExceeded via net.Error).
+type NodeError struct {
+	NodeID int
+	Peer   int
+	Phase  Phase
+	Err    error
+}
+
+func (e *NodeError) Error() string {
+	if e.Peer >= 0 {
+		return fmt.Sprintf("dist: node %d: %s peer %d: %v", e.NodeID, e.Phase, e.Peer, e.Err)
+	}
+	return fmt.Sprintf("dist: node %d: %s: %v", e.NodeID, e.Phase, e.Err)
+}
+
+func (e *NodeError) Unwrap() error { return e.Err }
+
+// nodeErr wraps err as a NodeError; nil stays nil.
+func nodeErr(nodeID, peer int, phase Phase, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &NodeError{NodeID: nodeID, Peer: peer, Phase: phase, Err: err}
+}
+
+// isTemporary reports whether err advertises itself as transient (the
+// injected accept failures of internal/faultnet do, as do some kernel
+// accept errors like ECONNABORTED).
+func isTemporary(err error) bool {
+	var t interface{ Temporary() bool }
+	return errors.As(err, &t) && t.Temporary()
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"net"
+	"time"
 
 	"parallelagg/internal/tuple"
 )
@@ -99,6 +101,55 @@ func writeEOPFrame(w *bufio.Writer) error {
 		return err
 	}
 	return w.Flush()
+}
+
+// peer is one outgoing connection: the conn for deadline control, the
+// buffered writer for framing, and the per-frame write timeout. Every
+// write arms a fresh deadline, so a peer that stops draining its socket
+// (backpressure hang) fails the write within timeout instead of blocking
+// the scan forever.
+type peer struct {
+	id      int
+	conn    net.Conn
+	w       *bufio.Writer
+	timeout time.Duration
+}
+
+func (p *peer) arm() {
+	if p.timeout > 0 {
+		p.conn.SetWriteDeadline(time.Now().Add(p.timeout))
+	}
+}
+
+func (p *peer) writeHello(src int) error {
+	p.arm()
+	if err := writeHello(p.w, src); err != nil {
+		return err
+	}
+	// Flush so the hello doubles as a handshake: the accept side can
+	// identify the peer (and apply its read deadline) immediately instead
+	// of waiting for the first data flush.
+	return p.w.Flush()
+}
+
+func (p *peer) writeRaw(ts []tuple.Tuple) error {
+	p.arm()
+	return writeRawFrame(p.w, ts)
+}
+
+func (p *peer) writePartials(ps []tuple.Partial) error {
+	p.arm()
+	return writePartialFrame(p.w, ps)
+}
+
+func (p *peer) writeEOS() error {
+	p.arm()
+	return writeEOSFrame(p.w)
+}
+
+func (p *peer) writeEOP() error {
+	p.arm()
+	return writeEOPFrame(p.w)
 }
 
 // frame is one decoded wire frame.

@@ -3,8 +3,12 @@ package dist
 import (
 	"bufio"
 	"bytes"
+	"errors"
+	"net"
+	"os"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"parallelagg/internal/tuple"
 )
@@ -72,6 +76,48 @@ func TestHelloRoundTrip(t *testing.T) {
 	got, err := readHello(&buf)
 	if err != nil || got != 42 {
 		t.Fatalf("hello = %d, %v", got, err)
+	}
+}
+
+// peer writes arm a fresh deadline per frame: a connection nobody drains
+// must fail the write within the timeout instead of blocking forever.
+func TestPeerWriteDeadline(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	p := &peer{id: 1, conn: a, w: bufio.NewWriterSize(a, 8), timeout: 50 * time.Millisecond}
+	start := time.Now()
+	err := p.writeEOS() // flushes into a pipe with no reader
+	if err == nil {
+		t.Fatal("write to undrained pipe succeeded")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("deadline took %v to fire", d)
+	}
+}
+
+// A zero timeout must not arm deadlines (the opt-out path).
+func TestPeerZeroTimeoutWrites(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	p := &peer{id: 0, conn: a, w: bufio.NewWriter(a), timeout: 0}
+	if err := p.writeHello(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.writeEOS(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,339 @@
+// Package faultnet wraps net.Conn and net.Listener with deterministic,
+// seeded fault injection: latency, bandwidth throttling, partial writes,
+// connection resets, silent hangs, and accept failures. It exists so the
+// distributed exchange in internal/dist can be tested against the failure
+// modes the paper's PVM cluster simply hung on — a slow peer, a dead peer,
+// an asymmetric link — without real machines or real packet loss.
+//
+// All randomness comes from one seeded *rand.Rand guarded by a mutex, so a
+// chaos scenario replays identically for a given Config.Seed. Injected
+// waits (latency, throttle, hang) respect the connection's read/write
+// deadlines and its Close, so a victim that sets deadlines — as the
+// hardened dist layer does — always gets control back.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset is the error returned by an operation on which the
+// injector fired a connection reset. The underlying connection is closed
+// (with SO_LINGER 0 when it is a TCPConn, so the peer sees a real RST).
+var ErrInjectedReset = errors.New("faultnet: injected connection reset")
+
+// ErrInjectedAcceptFailure is returned by Accept when the injector fires
+// an accept fault. It is temporary: accept loops that retry transient
+// errors (as internal/dist does) recover from it.
+var ErrInjectedAcceptFailure = &acceptError{}
+
+type acceptError struct{}
+
+func (*acceptError) Error() string   { return "faultnet: injected accept failure" }
+func (*acceptError) Temporary() bool { return true }
+func (*acceptError) Timeout() bool   { return false }
+
+// Config selects which faults the injector fires and how often. All
+// probabilities are per-operation (per Read, per Write, per Accept) in
+// [0,1]; zero disables that fault. The zero Config injects nothing.
+type Config struct {
+	// Seed seeds the injector's RNG. Same seed, same fault sequence.
+	Seed int64
+
+	// Latency is added to every Read and Write, plus a uniform extra in
+	// [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// Bandwidth throttles payload bytes per second across the whole
+	// injector (0 = unlimited). Implemented as a sleep of len/Bandwidth
+	// per operation.
+	Bandwidth int
+
+	// PartialWrite is the probability that a Write delivers only a random
+	// prefix of its payload and then resets the connection — a frame
+	// truncated on the wire, the way a peer crash mid-send looks.
+	PartialWrite float64
+
+	// Reset is the probability that an operation closes the connection
+	// (RST when possible) and returns ErrInjectedReset.
+	Reset float64
+
+	// Hang is the probability that an operation blocks silently — no
+	// data, no error — until the connection is closed or its deadline
+	// expires. This is the straggler/dead-peer case deadlines exist for.
+	Hang float64
+
+	// AcceptFail is the probability that an Accept returns a temporary
+	// ErrInjectedAcceptFailure instead of a connection.
+	AcceptFail float64
+}
+
+// ParseSpec builds a Config from a compact comma-separated spec suitable
+// for command-line flags, e.g.
+//
+//	"latency=2ms,jitter=1ms,bw=1048576,partial=0.01,reset=0.005,hang=0.002,acceptfail=0.1,seed=42"
+//
+// Unknown keys are errors; an empty spec is the zero Config.
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	if strings.TrimSpace(spec) == "" {
+		return c, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return c, fmt.Errorf("faultnet: bad spec entry %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "latency":
+			c.Latency, err = time.ParseDuration(v)
+		case "jitter":
+			c.Jitter, err = time.ParseDuration(v)
+		case "bw":
+			c.Bandwidth, err = strconv.Atoi(v)
+		case "partial":
+			c.PartialWrite, err = strconv.ParseFloat(v, 64)
+		case "reset":
+			c.Reset, err = strconv.ParseFloat(v, 64)
+		case "hang":
+			c.Hang, err = strconv.ParseFloat(v, 64)
+		case "acceptfail":
+			c.AcceptFail, err = strconv.ParseFloat(v, 64)
+		case "seed":
+			c.Seed, err = strconv.ParseInt(v, 10, 64)
+		default:
+			return c, fmt.Errorf("faultnet: unknown spec key %q", k)
+		}
+		if err != nil {
+			return c, fmt.Errorf("faultnet: spec %q: %w", kv, err)
+		}
+	}
+	return c, nil
+}
+
+// Injector owns the fault schedule. One injector can wrap many
+// connections and listeners; they share its RNG and bandwidth budget.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds an injector for cfg.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// roll returns true with probability p, from the shared seeded RNG.
+func (in *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64() < p
+}
+
+// jittered returns Latency plus a uniform sample of [0, Jitter).
+func (in *Injector) jittered() time.Duration {
+	d := in.cfg.Latency
+	if in.cfg.Jitter > 0 {
+		in.mu.Lock()
+		d += time.Duration(in.rng.Int63n(int64(in.cfg.Jitter)))
+		in.mu.Unlock()
+	}
+	return d
+}
+
+// cut returns a random prefix length in [0, n) for a partial write.
+func (in *Injector) cut(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Intn(n)
+}
+
+// Conn wraps c with this injector's faults.
+func (in *Injector) Conn(c net.Conn) net.Conn {
+	return &conn{Conn: c, in: in, closed: make(chan struct{})}
+}
+
+// Listener wraps l so Accept can fail transiently and every accepted
+// connection carries this injector's faults.
+func (in *Injector) Listener(l net.Listener) net.Listener {
+	return &listener{Listener: l, in: in}
+}
+
+// Dialer wraps a DialTimeout-shaped function so dialed connections carry
+// this injector's faults. Pass nil to wrap net.DialTimeout. The result
+// matches the dist layer's Config.Dial hook.
+func (in *Injector) Dialer(base func(network, addr string, timeout time.Duration) (net.Conn, error)) func(network, addr string, timeout time.Duration) (net.Conn, error) {
+	if base == nil {
+		base = net.DialTimeout
+	}
+	return func(network, addr string, timeout time.Duration) (net.Conn, error) {
+		c, err := base(network, addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return in.Conn(c), nil
+	}
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	if l.in.roll(l.in.cfg.AcceptFail) {
+		return nil, ErrInjectedAcceptFailure
+	}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Conn(c), nil
+}
+
+// conn is a net.Conn with injected faults. It tracks deadlines itself so
+// injected waits (latency, throttle, hang) end when the deadline does —
+// matching what a real kernel socket would do.
+type conn struct {
+	net.Conn
+	in *Injector
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	dlMu          sync.Mutex
+	readDeadline  time.Time
+	writeDeadline time.Time
+}
+
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.readDeadline, c.writeDeadline = t, t
+	c.dlMu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.readDeadline = t
+	c.dlMu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.writeDeadline = t
+	c.dlMu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func (c *conn) deadline(write bool) time.Time {
+	c.dlMu.Lock()
+	defer c.dlMu.Unlock()
+	if write {
+		return c.writeDeadline
+	}
+	return c.readDeadline
+}
+
+// wait sleeps for d but returns early (with the appropriate error) if the
+// connection closes or the relevant deadline expires first. d <= 0 is a
+// no-op. A negative d means "forever" (the hang fault).
+func (c *conn) wait(d time.Duration, write bool) error {
+	if d == 0 {
+		return nil
+	}
+	var sleep <-chan time.Time
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		sleep = t.C
+	}
+	var expire <-chan time.Time
+	if dl := c.deadline(write); !dl.IsZero() {
+		t := time.NewTimer(time.Until(dl))
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case <-sleep:
+		return nil
+	case <-c.closed:
+		return net.ErrClosed
+	case <-expire:
+		return os.ErrDeadlineExceeded
+	}
+}
+
+// reset closes the connection so the peer sees a hard failure. For TCP we
+// set SO_LINGER 0 first so the close emits RST rather than FIN.
+func (c *conn) reset() error {
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Close()
+	return ErrInjectedReset
+}
+
+// before runs the faults shared by Read and Write: hang, reset, latency,
+// bandwidth throttle (for n payload bytes).
+func (c *conn) before(n int, write bool) error {
+	if c.in.roll(c.in.cfg.Hang) {
+		if err := c.wait(-1, write); err != nil {
+			return err
+		}
+	}
+	if c.in.roll(c.in.cfg.Reset) {
+		return c.reset()
+	}
+	d := c.in.jittered()
+	if c.in.cfg.Bandwidth > 0 && n > 0 {
+		d += time.Duration(float64(n) / float64(c.in.cfg.Bandwidth) * float64(time.Second))
+	}
+	return c.wait(d, write)
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if err := c.before(len(p), false); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if err := c.before(len(p), true); err != nil {
+		return 0, err
+	}
+	if len(p) > 0 && c.in.roll(c.in.cfg.PartialWrite) {
+		n := c.in.cut(len(p))
+		if n > 0 {
+			if wn, err := c.Conn.Write(p[:n]); err != nil {
+				return wn, err
+			}
+		}
+		return n, c.reset()
+	}
+	return c.Conn.Write(p)
+}
