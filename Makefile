@@ -1,6 +1,7 @@
 GO ?= go
+AGGVET := bin/aggvet
 
-.PHONY: build test vet race chaos check bench
+.PHONY: build test vet lint race chaos check bench
 
 build:
 	$(GO) build ./...
@@ -11,6 +12,13 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The repo's own determinism/networking invariants (DESIGN.md §8),
+# enforced by the custom multichecker in cmd/aggvet via the vettool
+# protocol.
+lint:
+	$(GO) build -o $(AGGVET) ./cmd/aggvet
+	$(GO) vet -vettool=$(abspath $(AGGVET)) ./...
+
 race:
 	$(GO) test -race ./...
 
@@ -18,8 +26,9 @@ race:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/dist/... ./internal/faultnet/...
 
-# What CI runs.
-check: vet race
+# What CI runs (CI additionally shuffles test order and runs
+# staticcheck/govulncheck, which need network access to install).
+check: vet lint race
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...

@@ -1,0 +1,159 @@
+package main
+
+// End-to-end test of the vettool protocol: build aggvet, then drive it
+// through a real `go vet -vettool` run over a scratch module. This is
+// the executable form of the acceptance criterion "deliberately
+// inserting a time.Now() into internal/des makes make lint fail".
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles aggvet once into a temp dir and returns its path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(t.TempDir(), "aggvet")
+	cmd := exec.Command("go", "build", "-o", tool, "./cmd/aggvet")
+	cmd.Dir = repoRoot
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building aggvet: %v\n%s", err, out)
+	}
+	return tool
+}
+
+// writeModule lays out a scratch module with the given files.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module aggvetscratch\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func govet(t *testing.T, tool, dir string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	// The scratch module has no dependencies; keep the run hermetic.
+	cmd.Env = append(os.Environ(), "GOPROXY=off", "GOFLAGS=")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go command")
+	}
+	tool := buildTool(t)
+
+	const dirty = `package des
+
+import "time"
+
+func Stamp() int64 {
+	t := time.Now()
+	_ = t
+	return 0
+}
+`
+	const clean = `package des
+
+func Stamp() int64 { return 0 }
+`
+	const exempt = `package des
+
+import "time"
+
+func Stamp() int64 {
+	t := time.Now() //aggvet:allow simclock -- proving the escape hatch end to end
+	_ = t
+	return 0
+}
+`
+
+	t.Run("wall clock in internal/des fails vet", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{"internal/des/clock.go": dirty})
+		out, err := govet(t, tool, dir)
+		if err == nil {
+			t.Fatalf("go vet passed on time.Now in internal/des; output:\n%s", out)
+		}
+		if !strings.Contains(out, "simclock: time.Now") {
+			t.Fatalf("diagnostic missing from output:\n%s", out)
+		}
+	})
+
+	t.Run("clean module passes vet", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{"internal/des/clock.go": clean})
+		if out, err := govet(t, tool, dir); err != nil {
+			t.Fatalf("go vet failed on clean module: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("aggvet:allow silences the diagnostic", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{"internal/des/clock.go": exempt})
+		if out, err := govet(t, tool, dir); err != nil {
+			t.Fatalf("go vet failed despite //aggvet:allow: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("global rand outside internal anywhere fails vet", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{"pkg/jitter/jitter.go": `package jitter
+
+import "math/rand"
+
+func Jitter() int64 { return rand.Int63n(100) }
+`})
+		out, err := govet(t, tool, dir)
+		if err == nil {
+			t.Fatalf("go vet passed on global rand.Int63n; output:\n%s", out)
+		}
+		if !strings.Contains(out, "seededrand: rand.Int63n") {
+			t.Fatalf("diagnostic missing from output:\n%s", out)
+		}
+	})
+}
+
+// TestHandshake verifies the two build-system handshake invocations the
+// go command performs before any analysis: -V=full and -flags.
+func TestHandshake(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go command")
+	}
+	tool := buildTool(t)
+
+	out, err := exec.Command(tool, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) < 4 || fields[1] != "version" || fields[2] != "devel" ||
+		!strings.HasPrefix(fields[3], "buildID=") {
+		t.Fatalf("-V=full output %q does not satisfy the go command's toolID parser", out)
+	}
+
+	out, err = exec.Command(tool, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	for _, name := range []string{"simclock", "seededrand", "netdeadline", "donesend"} {
+		if !strings.Contains(string(out), `"`+name+`"`) {
+			t.Errorf("-flags JSON missing analyzer %q:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Command aggvet is the repo's determinism-and-networking linter: a
+// multichecker over the four invariant analyzers in internal/analysis,
+// speaking the "go vet -vettool" protocol. Run it through the build
+// system so packages arrive type-checked with their dependencies'
+// export data:
+//
+//	go build -o bin/aggvet ./cmd/aggvet
+//	go vet -vettool=$(pwd)/bin/aggvet ./...
+//
+// or simply `make lint`. Passing analyzer names as flags selects a
+// subset (e.g. -simclock); by default all four run. See DESIGN.md §8
+// for the invariants and the //aggvet:allow exemption convention.
+package main
+
+import (
+	"parallelagg/internal/analysis"
+	"parallelagg/internal/analysis/donesend"
+	"parallelagg/internal/analysis/netdeadline"
+	"parallelagg/internal/analysis/seededrand"
+	"parallelagg/internal/analysis/simclock"
+)
+
+func main() {
+	analysis.UnitMain(
+		simclock.Analyzer,
+		seededrand.Analyzer,
+		netdeadline.Analyzer,
+		donesend.Analyzer,
+	)
+}

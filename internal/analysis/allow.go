@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression convention: a line comment of the form
+//
+//	//aggvet:allow <name> [<name>...] [-- rationale]
+//
+// placed on the offending line or on the line directly above it
+// silences the named analyzers for that line. Names may be separated by
+// spaces or commas; anything after "--" is free-form rationale. The
+// directive deliberately requires explicit analyzer names — there is no
+// blanket "allow everything" spelling — so every exemption in the tree
+// names the invariant it opts out of.
+const allowPrefix = "aggvet:allow"
+
+// allowlist maps filename → line → analyzer names allowed there.
+type allowlist map[string]map[int][]string
+
+func buildAllowlist(fset *token.FileSet, files []*ast.File) allowlist {
+	al := make(allowlist)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments are never directives
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), allowPrefix)
+				if !ok {
+					continue
+				}
+				if rationale := strings.Index(rest, "--"); rationale >= 0 {
+					rest = rest[:rationale]
+				}
+				names := strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ' ' || r == '\t' || r == ','
+				})
+				if len(names) == 0 {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				lines := al[posn.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					al[posn.Filename] = lines
+				}
+				lines[posn.Line] = append(lines[posn.Line], names...)
+			}
+		}
+	}
+	return al
+}
+
+// allows reports whether a diagnostic from the named analyzer at posn
+// is suppressed: the directive may sit on the same line (trailing
+// comment) or on the line above (its own line).
+func (al allowlist) allows(posn token.Position, name string) bool {
+	lines := al[posn.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{posn.Line, posn.Line - 1} {
+		for _, n := range lines[l] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,175 @@
+// Package analysis is a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough framework to write the
+// aggvet analyzers (see the sibling packages simclock, seededrand,
+// netdeadline, donesend) against the standard library's go/ast and
+// go/types, run them under "go vet -vettool" (unit.go), and test them
+// against want-comment fixtures (the analysistest subpackage).
+//
+// The deliberate differences from x/tools are:
+//
+//   - no facts, no analyzer dependencies, no suggested fixes — the
+//     aggvet analyzers are all single-package syntax+types checks;
+//   - diagnostics in _test.go files are dropped centrally: every aggvet
+//     rule is about production determinism, and tests legitimately use
+//     wall clocks, ad-hoc randomness, and bare channel sends;
+//   - a built-in suppression convention: a "//aggvet:allow <name>"
+//     comment on the offending line, or on the line directly above it,
+//     silences analyzer <name> for that line (see allow.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, command-line flags,
+	// and //aggvet:allow comments. It must look like an identifier.
+	Name string
+
+	// Doc is the one-paragraph help text: the invariant, and what
+	// conforming code looks like.
+	Doc string
+
+	// Run performs the check, reporting findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding. The analyzer name is prefixed to the
+// message so "go vet" output identifies the rule that fired.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  p.Analyzer.Name + ": " + fmt.Sprintf(format, args...),
+	})
+}
+
+// Run type-checks nothing itself: it runs the given analyzers over an
+// already-loaded package and returns the surviving diagnostics, sorted
+// by position. Diagnostics in _test.go files and diagnostics silenced
+// by //aggvet:allow comments are dropped here, so every driver (the
+// vettool in unit.go, the fixture runner in analysistest) gets
+// identical semantics.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allow := buildAllowlist(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			posn := fset.Position(d.Pos)
+			if strings.HasSuffix(posn.Filename, "_test.go") {
+				continue
+			}
+			if allow.allows(posn, d.Analyzer) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return out, nil
+}
+
+// PathMatches reports whether pkgPath is one of the packages named by
+// suffixes, or a subpackage of one. A suffix like "internal/dist"
+// matches "parallelagg/internal/dist", "internal/dist" itself, and
+// "parallelagg/internal/dist/wire" — but not "internal/distother".
+func PathMatches(pkgPath string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pkgPath == s || strings.HasPrefix(pkgPath, s+"/") {
+			return true
+		}
+		if i := strings.Index(pkgPath, "/"+s); i >= 0 {
+			rest := pkgPath[i+1+len(s):]
+			if rest == "" || rest[0] == '/' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ImportedPackage resolves id to the package it names at this use, or
+// nil if id is not a package qualifier. It lets analyzers match
+// selector expressions like time.Now by import path rather than by the
+// (renamable) local identifier.
+func ImportedPackage(info *types.Info, id *ast.Ident) *types.Package {
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported()
+	}
+	return nil
+}
+
+// HasMethod reports whether t (or *t) has a method with the given name,
+// promoted fields included. It is the structural test netdeadline uses
+// for "conn-like": anything with SetReadDeadline/SetWriteDeadline.
+func HasMethod(t types.Type, pkg *types.Package, name string) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, pkg, name)
+	if obj == nil {
+		// Method sets of non-pointer types miss pointer-receiver
+		// methods; retry through an explicit pointer.
+		if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+			obj, _, _ = types.LookupFieldOrMethod(types.NewPointer(t), true, pkg, name)
+		}
+	}
+	_, isFunc := obj.(*types.Func)
+	return isFunc
+}
+
+// WalkStack walks the tree rooted at root in depth-first order, calling
+// fn for every node with the stack of its ancestors (outermost first,
+// parent last, root's ancestors empty). Returning false skips the
+// node's subtree.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

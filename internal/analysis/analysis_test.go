@@ -1,0 +1,26 @@
+package analysis
+
+import "testing"
+
+func TestPathMatches(t *testing.T) {
+	suffixes := []string{"internal/des", "internal/dist"}
+	for _, tc := range []struct {
+		path string
+		want bool
+	}{
+		{"parallelagg/internal/des", true},
+		{"internal/des", true},
+		{"parallelagg/internal/des/queue", true}, // subpackage
+		{"internal/des/queue", true},
+		{"parallelagg/internal/dist", true},
+		{"parallelagg/internal/distother", false}, // no partial segment match
+		{"parallelagg/internal/desk", false},
+		{"parallelagg/internal/core", false},
+		{"des", false},
+		{"", false},
+	} {
+		if got := PathMatches(tc.path, suffixes); got != tc.want {
+			t.Errorf("PathMatches(%q) = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+}

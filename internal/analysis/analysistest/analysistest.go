@@ -1,0 +1,208 @@
+// Package analysistest runs an aggvet analyzer over source fixtures and
+// checks its diagnostics against "want" comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest but built purely on the
+// standard library.
+//
+// Layout: <testdata>/src/<pattern>/*.go is one fixture package whose
+// import path is <pattern>. Fixtures import only other fixture packages
+// under the same src tree — including stub versions of standard
+// packages such as "time" or "math/rand", which keeps the suites
+// hermetic (no export data, no network, no GOROOT typechecking) while
+// still exercising the import-path matching the analyzers do.
+//
+// Expectations are comments of the form
+//
+//	code() // want "regexp" "another regexp"
+//
+// Every diagnostic must match a want pattern on its line, and every
+// want pattern must be matched by at least one diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"parallelagg/internal/analysis"
+)
+
+// Run loads each fixture package and asserts that the analyzer's
+// filtered diagnostics (test files skipped, //aggvet:allow honoured —
+// the same pipeline the vettool uses) match the fixtures' want
+// comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	l := &loader{
+		fset: token.NewFileSet(),
+		src:  filepath.Join(testdata, "src"),
+		pkgs: make(map[string]*fixturePkg),
+	}
+	for _, pattern := range patterns {
+		pattern := pattern
+		t.Run(strings.ReplaceAll(pattern, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			p, err := l.load(pattern)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", pattern, err)
+			}
+			diags, err := analysis.Run(l.fset, p.files, p.pkg, p.info, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, pattern, err)
+			}
+			check(t, l.fset, p.files, diags)
+		})
+	}
+}
+
+type fixturePkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader is a types.Importer over the fixture tree: import paths
+// resolve to sibling fixture directories, recursively.
+type loader struct {
+	fset *token.FileSet
+	src  string
+	pkgs map[string]*fixturePkg
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	p, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.pkg, nil
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return p, nil
+	}
+	l.pkgs[path] = nil // cycle guard
+
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no Go files", path)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{Importer: l}
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &fixturePkg{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// A want is one expectation: a pattern at a file:line, and whether any
+// diagnostic matched it.
+type want struct {
+	rx      *regexp.Regexp
+	posn    string // file:line, for error messages
+	matched bool
+}
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*want) // "file:line" → expectations
+	var order []string
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+				for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Errorf("%s: malformed want comment %q: expectations must be quoted strings", key, c.Text)
+						break
+					}
+					rest = rest[len(q):]
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: cannot unquote %s: %v", key, q, err)
+						continue
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", key, pat, err)
+						continue
+					}
+					if len(wants[key]) == 0 {
+						order = append(order, key)
+					}
+					wants[key] = append(wants[key], &want{rx: rx, posn: key})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		for _, w := range wants[key] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", w.posn, w.rx)
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package donesend enforces the cancellation discipline PR 1
+// established in the distributed exchange: a goroutine in internal/dist
+// must never do a bare channel send, because the consumer may already
+// have exited — the exact bug class of the merge-loop accepter hang,
+// where accepters stranded forever on a full frames channel after the
+// merge loop returned. Every send in a goroutine must be a case of a
+// select that also receives from the cancellation channel:
+//
+//	select {
+//	case frames <- in:
+//	case <-done:
+//	}
+//
+// The analyzer is lexical: it inspects sends written inside `go func()`
+// literals (at any closure depth). Sends in ordinary functions that
+// happen to be called from goroutines are the callee's responsibility.
+package donesend
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"parallelagg/internal/analysis"
+)
+
+// DistPackages scopes the analyzer to the real-networking layer.
+var DistPackages = []string{"internal/dist"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "donesend",
+	Doc: "flag bare channel sends inside goroutines in internal/dist\n\n" +
+		"A goroutine's send must sit in a select with a receive from the done/\n" +
+		"cancellation channel, or the goroutine leaks when its consumer exits first\n" +
+		"(the PR 1 merge-loop accepter bug).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatches(pass.Pkg.Path(), DistPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			if !inGoroutine(stack) {
+				return true
+			}
+			if sel := enclosingSelect(send, stack); sel != nil && selectsOnDone(sel) {
+				return true
+			}
+			pass.Reportf(send.Pos(),
+				"bare channel send in a goroutine: select on the cancellation channel too (case <-done:) or this goroutine leaks when its consumer exits first")
+			return true
+		})
+	}
+	return nil
+}
+
+// inGoroutine reports whether the node whose ancestor stack is given
+// sits (at any depth) inside a function literal launched by a go
+// statement: stack shape GoStmt → CallExpr → FuncLit.
+func inGoroutine(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 2; i-- {
+		fl, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		call, ok := stack[i-1].(*ast.CallExpr)
+		if !ok || call.Fun != fl {
+			continue
+		}
+		if _, ok := stack[i-2].(*ast.GoStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingSelect returns the select statement of which send is a
+// direct comm clause, or nil. Stack shape: SelectStmt → BlockStmt →
+// CommClause → SendStmt.
+func enclosingSelect(send *ast.SendStmt, stack []ast.Node) *ast.SelectStmt {
+	if len(stack) < 3 {
+		return nil
+	}
+	cc, ok := stack[len(stack)-1].(*ast.CommClause)
+	if !ok || cc.Comm != ast.Stmt(send) {
+		return nil
+	}
+	sel, _ := stack[len(stack)-3].(*ast.SelectStmt)
+	return sel
+}
+
+// selectsOnDone reports whether any case of sel receives from a
+// cancellation-style channel: <-done, <-ctx.Done(), <-p.quit, ...
+func selectsOnDone(sel *ast.SelectStmt) bool {
+	for _, s := range sel.Body.List {
+		cc, ok := s.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue // default case
+		}
+		var recv ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := comm.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				recv = u.X
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if u, ok := comm.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					recv = u.X
+				}
+			}
+		}
+		if recv != nil && doneLike(recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// doneNames are substrings identifying a cancellation channel by its
+// terminal identifier: done, quitc, stopCh, cancelled, shutdown, ...
+var doneNames = []string{"done", "quit", "stop", "cancel", "shutdown", "closing", "closed"}
+
+func doneLike(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return doneLike(e.X)
+	case *ast.CallExpr:
+		// <-ctx.Done() and friends.
+		switch fun := e.Fun.(type) {
+		case *ast.SelectorExpr:
+			return fun.Sel.Name == "Done"
+		case *ast.Ident:
+			return fun.Name == "Done"
+		}
+		return false
+	case *ast.Ident:
+		return matchesDoneName(e.Name)
+	case *ast.SelectorExpr:
+		return matchesDoneName(e.Sel.Name)
+	}
+	return false
+}
+
+func matchesDoneName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, d := range doneNames {
+		if strings.Contains(lower, d) {
+			return true
+		}
+	}
+	return false
+}

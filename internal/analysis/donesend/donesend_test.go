@@ -1,0 +1,15 @@
+package donesend_test
+
+import (
+	"testing"
+
+	"parallelagg/internal/analysis/analysistest"
+	"parallelagg/internal/analysis/donesend"
+)
+
+func TestDoneSend(t *testing.T) {
+	analysistest.Run(t, "testdata", donesend.Analyzer,
+		"parallelagg/internal/dist",     // in scope: wants diagnostics
+		"parallelagg/internal/workload", // out of scope: must be clean
+	)
+}

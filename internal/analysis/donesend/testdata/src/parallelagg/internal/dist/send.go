@@ -1,0 +1,89 @@
+// Fixture: cancellation discipline for goroutine sends in the
+// distributed layer.
+package dist
+
+type result struct{ n int }
+
+func bare(ch chan result) {
+	go func() {
+		ch <- result{1} // want `donesend: bare channel send in a goroutine`
+	}()
+}
+
+// A select that races two data channels but never watches cancellation
+// is still a leak when both consumers are gone.
+func selectWithoutDone(ch, other chan int) {
+	go func() {
+		select {
+		case ch <- 1: // want `donesend: bare channel send`
+		case v := <-other:
+			_ = v
+		}
+	}()
+}
+
+// The PR 1 fix shape: every send selects on done.
+func guarded(ch chan result, done chan struct{}) {
+	go func() {
+		select {
+		case ch <- result{1}:
+		case <-done:
+		}
+	}()
+}
+
+// Named cancellation variants all count.
+func guardedVariants(ch chan int, quitc chan struct{}, p *peerState) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-quitc:
+		}
+	}()
+	go func() {
+		select {
+		case ch <- 2:
+		case <-p.stopCh:
+		}
+	}()
+}
+
+type peerState struct{ stopCh chan struct{} }
+
+type ctx interface{ Done() <-chan struct{} }
+
+// Context-style cancellation counts too.
+func ctxGuarded(ch chan int, c ctx) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-c.Done():
+		}
+	}()
+}
+
+// Sends inside a helper closure still execute on the goroutine that
+// defined it: the lexical rule sees through nesting.
+func nestedClosure(ch chan int) {
+	go func() {
+		emit := func(v int) {
+			ch <- v // want `donesend: bare channel send`
+		}
+		emit(1)
+	}()
+}
+
+// Sends outside goroutines are the caller's concern — the scan loop
+// writing to peers is synchronous and bounded by deadlines.
+func synchronous(ch chan int) {
+	ch <- 1
+	f := func() { ch <- 2 }
+	f()
+}
+
+func exempted(ch chan int) {
+	go func() {
+		// Buffered-by-construction hand-off audited by a human.
+		ch <- 1 //aggvet:allow donesend -- ch has capacity 1 and a single producer
+	}()
+}

@@ -1,0 +1,9 @@
+// Fixture: packages outside internal/dist may use bare goroutine sends
+// (e.g. bounded fan-out with buffered channels) without diagnostics.
+package workload
+
+func fanOut(ch chan int) {
+	go func() {
+		ch <- 1 // not internal/dist: clean
+	}()
+}

@@ -1,0 +1,170 @@
+// Package netdeadline enforces the distributed layer's failure-safety
+// invariant from PR 1: no raw net.Conn read or write without a deadline
+// armed on the same connection.
+//
+// A Read or Write on a deadline-capable connection (anything with
+// SetReadDeadline/SetWriteDeadline — net.Conn, *net.TCPConn, faultnet
+// wrappers) can park its goroutine forever on a silent peer. The
+// analyzer flags such calls in internal/dist unless the enclosing
+// top-level function also arms the matching deadline on the same
+// connection value (directly or in a closure, the way RunNode's arm()
+// helper does). Reads and writes through bufio or io helpers on
+// deadline-armed conns are untouched: bufio.Reader has no deadline
+// methods, so it is not conn-like.
+package netdeadline
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"parallelagg/internal/analysis"
+)
+
+// DistPackages scopes the analyzer to the real-networking layer.
+var DistPackages = []string{"internal/dist"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "netdeadline",
+	Doc: "flag raw conn.Read/conn.Write in internal/dist without a deadline on the same conn\n\n" +
+		"Every direct Read (Write) on a deadline-capable connection must be paired,\n" +
+		"within the same top-level function, with SetReadDeadline (SetWriteDeadline)\n" +
+		"or SetDeadline on that same connection, preserving the failure-safe exchange.",
+	Run: run,
+}
+
+const (
+	guardRead = 1 << iota
+	guardWrite
+)
+
+// guardBits maps deadline-arming methods to the operations they cover.
+var guardBits = map[string]int{
+	"SetReadDeadline":  guardRead,
+	"SetWriteDeadline": guardWrite,
+	"SetDeadline":      guardRead | guardWrite,
+}
+
+// opBits maps blocking I/O methods to the guard they require.
+var opBits = map[string]int{
+	"Read":  guardRead,
+	"Write": guardWrite,
+}
+
+// opGuardName names the required guard in diagnostics.
+var opGuardName = map[string]string{
+	"Read":  "SetReadDeadline",
+	"Write": "SetWriteDeadline",
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatches(pass.Pkg.Path(), DistPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc analyzes one top-level function body, closures included.
+// Guard collection is flow-insensitive on purpose: arming a deadline
+// anywhere in the function (e.g. via a defer or an arm() closure that
+// re-arms per frame) satisfies the invariant; ordering bugs are the
+// race detector's and chaos suite's job, not vet's.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	type op struct {
+		sel  *ast.SelectorExpr
+		key  string
+		bits int
+	}
+	guards := make(map[string]int)
+	var ops []op
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Only method selections count; pkg.Func selectors have no
+		// receiver to guard.
+		if pass.TypesInfo.Selections[sel] == nil {
+			return true
+		}
+		name := sel.Sel.Name
+		if bits, ok := guardBits[name]; ok {
+			if key := exprKey(pass.TypesInfo, sel.X); key != "" {
+				guards[key] |= bits
+			}
+			return true
+		}
+		bits, ok := opBits[name]
+		if !ok {
+			return true
+		}
+		if !connLike(pass, sel.X, name) {
+			return true
+		}
+		ops = append(ops, op{sel: sel, key: exprKey(pass.TypesInfo, sel.X), bits: bits})
+		return true
+	})
+
+	for _, o := range ops {
+		if o.key != "" && guards[o.key]&o.bits == o.bits {
+			continue
+		}
+		pass.Reportf(o.sel.Pos(),
+			"raw %s on a deadline-capable connection with no %s in the enclosing function: a silent peer parks this goroutine forever (arm a deadline, or go through the framed helpers)",
+			o.sel.Sel.Name, opGuardName[o.sel.Sel.Name])
+	}
+}
+
+// connLike reports whether the receiver is deadline-capable: its type
+// has the SetReadDeadline/SetWriteDeadline method matching the
+// operation. bufio wrappers, files, and plain io.Readers are not.
+func connLike(pass *analysis.Pass, recv ast.Expr, opName string) bool {
+	tv, ok := pass.TypesInfo.Types[recv]
+	if !ok {
+		return false
+	}
+	return analysis.HasMethod(tv.Type, pass.Pkg, opGuardName[opName])
+}
+
+// exprKey canonicalizes a receiver expression to an identity usable as
+// a map key: the chain of types.Objects for idents and field selections
+// (c, p.conn, s.peer.conn). Unkeyable receivers — calls, index
+// expressions — return "" and can never be guard-matched, which is the
+// safe direction: bind the conn to a variable before reading it.
+func exprKey(info *types.Info, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := info.ObjectOf(e); obj != nil {
+			return fmt.Sprintf("%p", obj)
+		}
+	case *ast.SelectorExpr:
+		base := exprKey(info, e.X)
+		if base == "" {
+			return ""
+		}
+		if obj := info.ObjectOf(e.Sel); obj != nil {
+			return base + "." + fmt.Sprintf("%p", obj)
+		}
+	case *ast.ParenExpr:
+		return exprKey(info, e.X)
+	case *ast.StarExpr:
+		return exprKey(info, e.X)
+	case *ast.UnaryExpr:
+		return exprKey(info, e.X)
+	}
+	return ""
+}

@@ -1,0 +1,15 @@
+package netdeadline_test
+
+import (
+	"testing"
+
+	"parallelagg/internal/analysis/analysistest"
+	"parallelagg/internal/analysis/netdeadline"
+)
+
+func TestNetDeadline(t *testing.T) {
+	analysistest.Run(t, "testdata", netdeadline.Analyzer,
+		"parallelagg/internal/dist",     // in scope: wants diagnostics
+		"parallelagg/internal/faultnet", // out of scope: must be clean
+	)
+}

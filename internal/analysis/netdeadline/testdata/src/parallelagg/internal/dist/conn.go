@@ -1,0 +1,71 @@
+// Fixture: deadline discipline on conn-like values inside the
+// distributed layer. The fake conn mirrors net.Conn's deadline surface
+// without importing net, keeping the suite hermetic.
+package dist
+
+type conn struct{}
+
+func (conn) Read(p []byte) (int, error)      { return 0, nil }
+func (conn) Write(p []byte) (int, error)     { return 0, nil }
+func (conn) SetReadDeadline(ns int64) error  { return nil }
+func (conn) SetWriteDeadline(ns int64) error { return nil }
+func (conn) SetDeadline(ns int64) error      { return nil }
+
+// reader has blocking I/O but no deadline methods — like bufio.Reader —
+// so it is out of scope by construction.
+type reader struct{}
+
+func (reader) Read(p []byte) (int, error) { return 0, nil }
+
+func unguarded(c conn, buf []byte) {
+	c.Read(buf)  // want `netdeadline: raw Read .* no SetReadDeadline`
+	c.Write(buf) // want `netdeadline: raw Write .* no SetWriteDeadline`
+}
+
+func wrongDirection(c conn, buf []byte) {
+	c.SetWriteDeadline(0)
+	c.Read(buf) // want `netdeadline: raw Read`
+}
+
+func guarded(c conn, buf []byte) {
+	c.SetReadDeadline(0)
+	if _, err := c.Read(buf); err != nil {
+		return
+	}
+	c.SetWriteDeadline(0)
+	c.Write(buf)
+}
+
+func guardedBoth(c conn, buf []byte) {
+	c.SetDeadline(0)
+	c.Read(buf)
+	c.Write(buf)
+}
+
+// The RunNode pattern: a re-arming closure guards the reads in the same
+// top-level function.
+func closureGuard(c conn, buf []byte) {
+	arm := func() { c.SetReadDeadline(0) }
+	arm()
+	c.Read(buf)
+}
+
+type peer struct {
+	c conn
+}
+
+// Guards are tracked per connection value, not per type: arming p's
+// conn says nothing about q's.
+func perValue(p, q *peer, buf []byte) {
+	p.c.SetReadDeadline(0)
+	p.c.Read(buf)
+	q.c.Read(buf) // want `netdeadline: raw Read`
+}
+
+func notAConn(r reader, buf []byte) {
+	r.Read(buf) // no deadline methods: framed/buffered reader, out of scope
+}
+
+func exempted(c conn, buf []byte) {
+	c.Read(buf) //aggvet:allow netdeadline -- deadline armed by caller
+}

@@ -1,0 +1,12 @@
+// Fixture: packages outside internal/dist — here the fault-injection
+// wrappers, which forward raw Reads by design — are out of scope.
+package faultnet
+
+type conn struct{}
+
+func (conn) Read(p []byte) (int, error)     { return 0, nil }
+func (conn) SetReadDeadline(ns int64) error { return nil }
+
+func forward(c conn, buf []byte) {
+	c.Read(buf) // not internal/dist: clean
+}

@@ -1,0 +1,91 @@
+// Package seededrand forbids the process-global math/rand source in
+// non-test code, everywhere in the repo.
+//
+// Every randomized behaviour — workload generation, sampling, fault
+// injection, dial jitter — must flow from an explicitly seeded
+// *rand.Rand so any run can be replayed from its seed. The package-
+// level convenience functions (rand.Intn, rand.Int63n, ...) draw from
+// a shared source that is seeded unpredictably and contended across
+// goroutines; rand.Seed mutates it globally. The approved pattern,
+//
+//	rng := rand.New(rand.NewSource(seed))
+//
+// stays legal: rand.New, rand.NewSource, rand.NewZipf and all methods
+// of *rand.Rand are untouched. Genuinely wall-clock code can opt out
+// with an "//aggvet:allow seededrand -- rationale" comment.
+package seededrand
+
+import (
+	"go/ast"
+
+	"parallelagg/internal/analysis"
+)
+
+// forbidden lists the package-level functions of math/rand (and the
+// equivalently global math/rand/v2 spellings) that use the shared
+// source.
+var forbidden = map[string]bool{
+	"Seed":        true,
+	"Int":         true,
+	"Intn":        true,
+	"IntN":        true,
+	"Int31":       true,
+	"Int31n":      true,
+	"Int32":       true,
+	"Int32N":      true,
+	"Int63":       true,
+	"Int63n":      true,
+	"Int64":       true,
+	"Int64N":      true,
+	"Uint":        true,
+	"UintN":       true,
+	"Uint32":      true,
+	"Uint32N":     true,
+	"Uint64":      true,
+	"Uint64N":     true,
+	"Float32":     true,
+	"Float64":     true,
+	"ExpFloat64":  true,
+	"NormFloat64": true,
+	"Perm":        true,
+	"Shuffle":     true,
+	"Read":        true,
+	"N":           true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid the global math/rand source; require an explicitly seeded *rand.Rand\n\n" +
+		"Package-level math/rand functions (rand.Intn, rand.Seed, ...) draw from the\n" +
+		"process-global source and make runs unrepeatable. Build a local generator\n" +
+		"with rand.New(rand.NewSource(seed)) instead, or annotate genuinely\n" +
+		"wall-clock code with //aggvet:allow seededrand.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg := analysis.ImportedPackage(pass.TypesInfo, id)
+			if pkg == nil || !forbidden[sel.Sel.Name] {
+				return true
+			}
+			if p := pkg.Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s draws from the process-global random source: inject a *rand.Rand built from an explicit seed (rand.New(rand.NewSource(seed)))",
+				id.Name, sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

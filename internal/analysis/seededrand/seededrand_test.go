@@ -1,0 +1,15 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"parallelagg/internal/analysis/analysistest"
+	"parallelagg/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, "testdata", seededrand.Analyzer,
+		"a", // global-source uses: wants diagnostics
+		"b", // seeded and look-alike uses: must be clean
+	)
+}

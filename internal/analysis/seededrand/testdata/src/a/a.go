@@ -1,0 +1,33 @@
+// Fixture: seededrand applies to every package, so a plain package far
+// from internal/ must still be diagnosed.
+package a
+
+import "math/rand"
+
+func global() {
+	rand.Seed(42)                      // want `seededrand: rand\.Seed draws from the process-global`
+	_ = rand.Intn(10)                  // want `seededrand: rand\.Intn`
+	_ = rand.Int63n(100)               // want `seededrand: rand\.Int63n`
+	_ = rand.Float64()                 // want `seededrand: rand\.Float64`
+	_ = rand.Perm(8)                   // want `seededrand: rand\.Perm`
+	rand.Shuffle(8, func(i, j int) {}) // want `seededrand: rand\.Shuffle`
+}
+
+// Storing the global function is as bad as calling it.
+var pick = rand.Intn // want `seededrand: rand\.Intn`
+
+func seeded(seed int64) float64 {
+	// The approved pattern: explicit seed, local generator, methods on
+	// *rand.Rand. None of this may be diagnosed.
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(4, func(i, j int) {})
+	z := rand.NewZipf(rng, 1.1, 1, 63)
+	_ = z
+	_ = rng.Intn(10)
+	return rng.Float64()
+}
+
+func wallClockCode() int {
+	// Escape hatch for code that is deliberately nondeterministic.
+	return rand.Int() //aggvet:allow seededrand -- jitter for a real network
+}

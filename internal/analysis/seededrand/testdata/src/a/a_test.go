@@ -1,0 +1,9 @@
+// Fixture: test files are exempt — tests may use ad-hoc randomness.
+package a
+
+import "math/rand"
+
+func testHelper() int {
+	rand.Seed(1)
+	return rand.Intn(10)
+}

@@ -1,0 +1,18 @@
+// Fixture: a selector called "rand" that is not math/rand must not be
+// confused with the real thing, and clean seeded code stays clean.
+package b
+
+import rand "math/rand"
+
+type fakeRand struct{}
+
+func (fakeRand) Intn(n int) int { return 0 }
+
+func notTheGlobalPackage() {
+	var rnd fakeRand
+	_ = rnd.Intn(3) // a method on a local type, not math/rand
+}
+
+func properlySeeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(10)
+}

@@ -1,0 +1,34 @@
+// Package rand is a stub of math/rand, just rich enough to type-check
+// the seededrand fixtures hermetically.
+package rand
+
+type Source interface{ Int63() int64 }
+
+func NewSource(seed int64) Source { return nil }
+
+type Rand struct{}
+
+func New(src Source) *Rand { return &Rand{} }
+
+func (r *Rand) Int() int                           { return 0 }
+func (r *Rand) Intn(n int) int                     { return 0 }
+func (r *Rand) Int63n(n int64) int64               { return 0 }
+func (r *Rand) Float64() float64                   { return 0 }
+func (r *Rand) Perm(n int) []int                   { return nil }
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {}
+
+type Zipf struct{}
+
+func NewZipf(r *Rand, s, v float64, imax uint64) *Zipf { return &Zipf{} }
+
+func Seed(seed int64)                    {}
+func Int() int                           { return 0 }
+func Intn(n int) int                     { return 0 }
+func Int63() int64                       { return 0 }
+func Int63n(n int64) int64               { return 0 }
+func Float64() float64                   { return 0 }
+func ExpFloat64() float64                { return 0 }
+func NormFloat64() float64               { return 0 }
+func Perm(n int) []int                   { return nil }
+func Shuffle(n int, swap func(i, j int)) {}
+func Read(p []byte) (n int, err error)   { return 0, nil }

@@ -1,0 +1,15 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"parallelagg/internal/analysis/analysistest"
+	"parallelagg/internal/analysis/simclock"
+)
+
+func TestSimclock(t *testing.T) {
+	analysistest.Run(t, "testdata", simclock.Analyzer,
+		"parallelagg/internal/des",  // simulated: wants diagnostics
+		"parallelagg/internal/dist", // real networking: must be clean
+	)
+}

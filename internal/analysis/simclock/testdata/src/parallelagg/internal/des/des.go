@@ -1,0 +1,43 @@
+// Fixture: a DES-simulated package. Every wall-clock read or wait must
+// be diagnosed; virtual-time-style code and bare type uses must not.
+package des
+
+import "time"
+
+// Virtual time modelled on the real simulator: type uses of package
+// time are fine.
+type VTime = time.Duration
+
+func wallClock() {
+	_ = time.Now()                  // want `simclock: time\.Now in DES-simulated package`
+	time.Sleep(time.Millisecond)    // want `simclock: time\.Sleep`
+	<-time.After(time.Second)       // want `simclock: time\.After`
+	_ = time.Tick(time.Second)      // want `simclock: time\.Tick`
+	t := time.NewTimer(time.Second) // want `simclock: time\.NewTimer`
+	_ = t
+	k := time.NewTicker(time.Second) // want `simclock: time\.NewTicker`
+	_ = k
+	_ = time.Since(time.Time{})      // want `simclock: time\.Since`
+	_ = time.Until(time.Time{})      // want `simclock: time\.Until`
+	time.AfterFunc(time.Second, nil) // want `simclock: time\.AfterFunc`
+}
+
+// indirect references (not just calls) are diagnosed too: storing
+// time.Now in a variable is the classic way to smuggle it past review.
+var clock = time.Now // want `simclock: time\.Now`
+
+func virtualOnly() {
+	// Pure data uses of package time carry no wall-clock dependency.
+	var d time.Duration = 3 * time.Millisecond
+	var ts time.Time
+	ts = ts.Add(d)
+	_ = ts.Before(time.Time{})
+	_ = time.Unix(0, 0)
+}
+
+func exempted() {
+	// The escape hatch must silence exactly the named analyzer.
+	_ = time.Now() //aggvet:allow simclock -- boot-time banner only
+	//aggvet:allow simclock -- directive on the preceding line also counts
+	time.Sleep(time.Second)
+}

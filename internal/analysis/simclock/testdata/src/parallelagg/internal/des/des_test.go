@@ -1,0 +1,10 @@
+// Fixture: _test.go files are exempt wholesale — tests may use the wall
+// clock for timeouts without tripping the simulator invariant.
+package des
+
+import "time"
+
+func testOnlyTimeout() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,10 @@
+// Fixture: internal/dist does real networking and is NOT a simulated
+// package — wall-clock use here is legitimate and must stay clean.
+package dist
+
+import "time"
+
+func dialDeadline() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now().Add(5 * time.Second)
+}

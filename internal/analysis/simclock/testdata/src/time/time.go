@@ -1,0 +1,35 @@
+// Package time is a stub of the standard library's time package, just
+// rich enough to type-check the simclock fixtures hermetically.
+package time
+
+type Duration int64
+
+const (
+	Nanosecond  Duration = 1
+	Millisecond Duration = 1e6
+	Second      Duration = 1e9
+)
+
+type Time struct{ ns int64 }
+
+func (t Time) Add(d Duration) Time { return t }
+func (t Time) Before(u Time) bool  { return t.ns < u.ns }
+
+type Timer struct{ C <-chan Time }
+
+func (t *Timer) Stop() bool { return true }
+
+type Ticker struct{ C <-chan Time }
+
+func (t *Ticker) Stop() {}
+
+func Now() Time                             { return Time{} }
+func Since(t Time) Duration                 { return 0 }
+func Until(t Time) Duration                 { return 0 }
+func Sleep(d Duration)                      {}
+func After(d Duration) <-chan Time          { return nil }
+func AfterFunc(d Duration, f func()) *Timer { return nil }
+func Tick(d Duration) <-chan Time           { return nil }
+func NewTimer(d Duration) *Timer            { return &Timer{} }
+func NewTicker(d Duration) *Ticker          { return &Ticker{} }
+func Unix(sec, nsec int64) Time             { return Time{} }

@@ -1,0 +1,286 @@
+package analysis
+
+// This file implements the "go vet -vettool" command-line protocol —
+// the same contract golang.org/x/tools/go/analysis/unitchecker fills —
+// from the standard library alone. The go command drives the tool like
+// so:
+//
+//	aggvet -V=full       print a version line for build caching
+//	aggvet -flags        print supported flags as JSON
+//	aggvet <dir>/vet.cfg analyze one compilation unit
+//
+// The vet.cfg file is JSON describing one package: its source files,
+// the resolved import map, and the export-data file of every
+// dependency. We type-check the unit with go/types, importing
+// dependencies through the compiler export data the go command already
+// built (importer.ForCompiler with a lookup into PackageFile), run the
+// analyzers, and print findings to stderr in the usual file:line:col
+// form. Exit status 1 means findings, 0 means clean; either way the
+// facts output file (VetxOutput) is written so the go command can cache
+// the result — aggvet has no facts, so the file is always empty.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// unitConfig mirrors the JSON schema of the go command's vet.cfg (see
+// cmd/go/internal/work.(*Builder).vet and unitchecker.Config). Fields
+// aggvet does not consume are kept so the whole file round-trips.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// UnitMain is the entry point of a vettool built on this framework:
+// cmd/aggvet is nothing but a call to it. It owns flag handling, the
+// build-system handshake, and process exit status.
+func UnitMain(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	versionFlag := flag.String("V", "", "print version information ('full' is what the go command sends)")
+	flagsFlag := flag.Bool("flags", false, "print the tool's flags as JSON (go vet handshake)")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		enabled[a.Name] = flag.Bool(a.Name, false, doc)
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: go vet -vettool=$(command -v %s) [-<analyzer>...] ./...\n\nanalyzers:\n", progname)
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, doc)
+		}
+		os.Exit(2)
+	}
+	flag.Parse()
+
+	if *versionFlag != "" {
+		printVersion(progname)
+		return
+	}
+	if *flagsFlag {
+		printFlagsJSON()
+		return
+	}
+
+	// By the vet convention, naming any analyzer flag selects that
+	// subset; naming none runs them all.
+	selected := analyzers
+	if anySelected(enabled) {
+		selected = nil
+		for _, a := range analyzers {
+			if *enabled[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		flag.Usage()
+	}
+	os.Exit(runUnit(args[0], selected))
+}
+
+func anySelected(enabled map[string]*bool) bool {
+	for _, v := range enabled {
+		if *v {
+			return true
+		}
+	}
+	return false
+}
+
+// printVersion answers -V=full. The go command parses the line as
+// `<name> version devel ... buildID=<id>` and uses <id> in its action
+// cache key, so the ID must change whenever the tool's behaviour might:
+// hashing our own executable guarantees exactly that.
+func printVersion(progname string) {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil)[:12])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s/%s\n", progname, id, id)
+}
+
+// printFlagsJSON answers -flags: the go command asks for the flag set
+// so it can accept those flags on its own command line and forward
+// them. The handshake flags themselves are omitted.
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{}
+	flag.VisitAll(func(f *flag.Flag) {
+		if f.Name == "V" || f.Name == "flags" {
+			return
+		}
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// runUnit analyzes the single compilation unit described by cfgFile and
+// returns the process exit code.
+func runUnit(cfgFile string, analyzers []*Analyzer) int {
+	cfg, err := readUnitConfig(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Dependency units are analyzed only for facts (VetxOnly). aggvet
+	// produces none, so the unit needs no parsing at all — record the
+	// empty facts file and move on. This also skips re-typechecking the
+	// standard library on every run.
+	if cfg.VetxOnly {
+		writeVetx(cfg)
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0 // the compiler will report it better
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	tc := &types.Config{
+		Importer:  newUnitImporter(cfg, fset),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatal(err)
+	}
+
+	diags, err := Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeVetx(cfg)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func readUnitConfig(cfgFile string) (*unitConfig, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %v", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package %s has no files", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+// writeVetx records the (always empty) facts output. The go command
+// caches this file as the unit's analysis result; failing to write it
+// would force every vet run to start over.
+func writeVetx(cfg *unitConfig) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		log.Fatalf("writing facts output: %v", err)
+	}
+}
+
+// newUnitImporter resolves imports the way the go command instructs:
+// ImportMap canonicalizes the import path (vendoring, version suffixes)
+// and PackageFile names the compiler export data to load it from.
+func newUnitImporter(cfg *unitConfig, fset *token.FileSet) types.Importer {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	underlying := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		return underlying.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

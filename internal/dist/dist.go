@@ -103,6 +103,12 @@ type Config struct {
 	// deadlines entirely (the pre-hardening behaviour).
 	IOTimeout time.Duration
 
+	// Seed derives this node's backoff-jitter RNG (mixed with ID, so
+	// nodes sharing a template Config don't sleep in lockstep). Runs
+	// with the same Seed and ID draw identical jitter sequences, which
+	// keeps chaos scenarios replayable; zero is a valid fixed default.
+	Seed int64
+
 	// Dial, if set, replaces net.DialTimeout for outgoing connections.
 	// Fault injection (internal/faultnet's Injector.Dialer) and tests
 	// hook here.
@@ -426,6 +432,14 @@ func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, erro
 	return res, nil
 }
 
+// jitterRand builds the per-node jitter source for dial backoff. Each
+// node mixes its ID into the seed (golden-ratio multiplier) so a
+// cluster built from one template Config still desynchronizes, while
+// any (Seed, ID) pair replays the exact same sleep sequence.
+func jitterRand(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed ^ (int64(cfg.ID)+1)*0x9E3779B9))
+}
+
 // dialPeers connects to every node with exponential backoff + jitter,
 // bounded overall by cfg.DialTimeout, and performs the hello handshake.
 // Connections are registered with tracker so cancellation closes them.
@@ -436,6 +450,7 @@ func dialPeers(cfg Config, tracker *connTracker) ([]*peer, error) {
 		dial = net.DialTimeout
 	}
 	peers := make([]*peer, n)
+	rng := jitterRand(cfg)
 	deadline := time.Now().Add(cfg.DialTimeout)
 	for j := 0; j < n; j++ {
 		backoff := 2 * time.Millisecond
@@ -456,7 +471,7 @@ func dialPeers(cfg Config, tracker *connTracker) ([]*peer, error) {
 			// Full jitter on a doubling base, so a cluster of nodes
 			// restarting together doesn't hammer a recovering peer in
 			// lockstep.
-			sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+			sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
 			if until := time.Until(deadline); sleep > until {
 				sleep = until
 			}

@@ -117,7 +117,38 @@ func ParseSpec(spec string) (Config, error) {
 			return c, fmt.Errorf("faultnet: spec %q: %w", kv, err)
 		}
 	}
+	if err := c.validate(); err != nil {
+		return c, err
+	}
 	return c, nil
+}
+
+// validate rejects configs no schedule can honour: probabilities
+// outside [0,1], negative durations, negative bandwidth.
+func (c Config) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"partial", c.PartialWrite},
+		{"reset", c.Reset},
+		{"hang", c.Hang},
+		{"acceptfail", c.AcceptFail},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faultnet: %s=%v is not a probability in [0,1]", p.name, p.v)
+		}
+	}
+	if c.Latency < 0 {
+		return fmt.Errorf("faultnet: negative latency %v", c.Latency)
+	}
+	if c.Jitter < 0 {
+		return fmt.Errorf("faultnet: negative jitter %v", c.Jitter)
+	}
+	if c.Bandwidth < 0 {
+		return fmt.Errorf("faultnet: negative bandwidth %d", c.Bandwidth)
+	}
+	return nil
 }
 
 // Injector owns the fault schedule. One injector can wrap many

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"os"
+	"strings"
 	"testing"
 	"time"
 )
@@ -238,6 +239,49 @@ func TestParseSpec(t *testing.T) {
 	for _, bad := range []string{"latency", "nope=1", "reset=x", "latency=5"} {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestParseSpecNegativePaths(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want string // substring of the error
+	}{
+		{"bare key", "latency", "want key=value"},
+		{"empty entry", "latency=2ms,,bw=1", "want key=value"},
+		{"missing key", "=5", "unknown spec key"},
+		{"unknown key", "lattency=2ms", "unknown spec key"},
+		{"duration without unit", "latency=5", "missing unit"},
+		{"garbage duration", "jitter=fast", "invalid duration"},
+		{"float bandwidth", "bw=1.5", "invalid syntax"},
+		{"garbage probability", "reset=often", "invalid syntax"},
+		{"garbage seed", "seed=abc", "invalid syntax"},
+		{"probability above one", "partial=1.5", "not a probability"},
+		{"negative probability", "hang=-0.1", "not a probability"},
+		{"reset out of range", "reset=2", "not a probability"},
+		{"acceptfail out of range", "acceptfail=1.01", "not a probability"},
+		{"negative latency", "latency=-2ms", "negative latency"},
+		{"negative jitter", "jitter=-1ms", "negative jitter"},
+		{"negative bandwidth", "bw=-1024", "negative bandwidth"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.spec)
+			if err == nil {
+				t.Fatalf("ParseSpec(%q) accepted, want error containing %q", tc.spec, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("ParseSpec(%q) error = %q, want substring %q", tc.spec, err, tc.want)
+			}
+		})
+	}
+
+	// Boundary values are valid, not errors.
+	for _, spec := range []string{"partial=0", "partial=1", "reset=0.0", "hang=1.0", "bw=0", "latency=0s", "seed=-9"} {
+		if _, err := ParseSpec(spec); err != nil {
+			t.Errorf("ParseSpec(%q) rejected boundary value: %v", spec, err)
 		}
 	}
 }
