@@ -1,7 +1,7 @@
 GO ?= go
 AGGVET := bin/aggvet
 
-.PHONY: build test vet lint race chaos check bench
+.PHONY: build test vet lint lint-fixtures race chaos check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,16 @@ vet:
 
 # The repo's own determinism/networking invariants (DESIGN.md §8),
 # enforced by the custom multichecker in cmd/aggvet via the vettool
-# protocol.
+# protocol. The script prints a per-analyzer diagnostic summary and
+# exits non-zero on any finding; coverage of sqlagg/ and live/ is
+# asserted, not assumed.
 lint:
-	$(GO) build -o $(AGGVET) ./cmd/aggvet
-	$(GO) vet -vettool=$(abspath $(AGGVET)) ./...
+	GO="$(GO)" AGGVET="$(AGGVET)" sh scripts/lint.sh
+
+# The analyzers' own test suites: CFG/dataflow engine tests plus the
+# hermetic want-comment fixtures under internal/analysis/*/testdata.
+lint-fixtures:
+	$(GO) test ./internal/analysis/... ./cmd/aggvet/
 
 race:
 	$(GO) test -race ./...
@@ -32,3 +38,8 @@ check: vet lint race
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# Machine-readable perf snapshot: ns/op (and simulated seconds) per
+# algorithm × selectivity, written to BENCH_pr3.json.
+bench-json:
+	GO="$(GO)" sh scripts/bench-json.sh

@@ -109,6 +109,34 @@ func BenchmarkAlgorithms(b *testing.B) {
 	}
 }
 
+// BenchmarkAlgorithmsSelectivity sweeps every algorithm across the
+// selectivity axis the paper's adaptive argument turns on: the number
+// of groups as a fraction of the input. Low selectivity keeps every
+// table in memory (two-phase territory); high selectivity overflows
+// them (repartitioning territory). `make bench-json` distills this
+// sweep into BENCH_pr3.json.
+func BenchmarkAlgorithmsSelectivity(b *testing.B) {
+	prm := benchParams()
+	for _, sel := range []float64{0.001, 0.05, 0.5} {
+		groups := int64(sel * float64(prm.Tuples))
+		rel := parallelagg.Uniform(prm.N, prm.Tuples, groups, 1)
+		for _, alg := range parallelagg.Algorithms() {
+			alg := alg
+			b.Run(fmt.Sprintf("alg=%v/sel=%v", alg, sel), func(b *testing.B) {
+				var sim float64
+				for i := 0; i < b.N; i++ {
+					res, err := parallelagg.Aggregate(prm, rel, alg, parallelagg.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					sim = res.Elapsed.Seconds()
+				}
+				b.ReportMetric(sim, "sim-s")
+			})
+		}
+	}
+}
+
 // Ablation: the A-2P switch trigger. The paper switches exactly at memory
 // overflow; this ablation compares against switching earlier (half-full
 // table, emulated by shrinking M) and never (plain 2P).

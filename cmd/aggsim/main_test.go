@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSameSeedSameBytes is the executable form of the determinism
+// contract: two runs with identical flags must print identical bytes,
+// including the full -dump of every group's aggregate state. Go's map
+// iteration order differs between the two runs, so any map-ordered
+// output path would fail this immediately.
+func TestSameSeedSameBytes(t *testing.T) {
+	args := []string{
+		"-alg", "a2p", "-workload", "zipf", "-nodes", "4",
+		"-tuples", "20000", "-groups", "500", "-mem", "300",
+		"-seed", "7", "-v", "-dump", "-trace",
+	}
+	var first bytes.Buffer
+	if code := run(args, &first, &first); code != 0 {
+		t.Fatalf("first run exited %d:\n%s", code, first.String())
+	}
+	var second bytes.Buffer
+	if code := run(args, &second, &second); code != 0 {
+		t.Fatalf("second run exited %d:\n%s", code, second.String())
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("same-seed runs differ:\n--- first ---\n%s\n--- second ---\n%s",
+			first.String(), second.String())
+	}
+	if !strings.Contains(first.String(), "groups (sorted by key):") {
+		t.Fatalf("-dump section missing:\n%s", first.String())
+	}
+}
+
+// TestDumpSorted checks the -dump section lists keys in ascending order.
+func TestDumpSorted(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{
+		"-alg", "2p", "-workload", "uniform", "-nodes", "2",
+		"-tuples", "5000", "-groups", "100", "-seed", "3", "-dump",
+	}
+	if code := run(args, &out, &out); code != 0 {
+		t.Fatalf("run exited %d:\n%s", code, out.String())
+	}
+	_, dump, found := strings.Cut(out.String(), "groups (sorted by key):\n")
+	if !found {
+		t.Fatalf("-dump section missing:\n%s", out.String())
+	}
+	lines := strings.Split(strings.TrimSpace(dump), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("dump has %d lines, want 100", len(lines))
+	}
+	prev := ""
+	for i, ln := range lines {
+		key, _, ok := strings.Cut(ln, " ")
+		if !ok {
+			t.Fatalf("dump line %d is not 'key state': %q", i, ln)
+		}
+		// Keys are uint64s of varying width: compare (len, lexical).
+		if i > 0 && (len(key) < len(prev) || (len(key) == len(prev) && key < prev)) {
+			t.Fatalf("dump keys out of order at line %d: %s after %s", i, key, prev)
+		}
+		prev = key
+	}
+}
+
+func TestBadFlagsExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown algorithm", []string{"-alg", "quantum"}},
+		{"unknown workload", []string{"-workload", "lumpy"}},
+		{"unknown network", []string{"-net", "token-ring"}},
+		{"unknown flag", []string{"-frobnicate"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if code := run(tc.args, &out, &out); code != 2 {
+				t.Fatalf("run(%v) = %d, want 2\n%s", tc.args, code, out.String())
+			}
+		})
+	}
+}

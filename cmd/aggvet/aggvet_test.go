@@ -112,6 +112,71 @@ func Stamp() int64 {
 		}
 	})
 
+	t.Run("unsorted key escape in internal/exec fails vet", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{"internal/exec/keys.go": `package exec
+
+func Keys(m map[int]int64) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`})
+		out, err := govet(t, tool, dir)
+		if err == nil {
+			t.Fatalf("go vet passed on an unsorted key escape; output:\n%s", out)
+		}
+		if !strings.Contains(out, "maporder: map iteration order") {
+			t.Fatalf("diagnostic missing from output:\n%s", out)
+		}
+	})
+
+	t.Run("sorted key materialization passes vet", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{"internal/exec/keys.go": `package exec
+
+import "sort"
+
+func Keys(m map[int]int64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+`})
+		if out, err := govet(t, tool, dir); err != nil {
+			t.Fatalf("go vet failed on the sorted-keys idiom: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("timer leak in internal/dist fails vet", func(t *testing.T) {
+		// Uses the real time package via export data, proving the
+		// flow-sensitive analyzers work through the unitchecker path.
+		dir := writeModule(t, map[string]string{"internal/dist/watch.go": `package dist
+
+import "time"
+
+func Watch(d time.Duration, abort <-chan struct{}) bool {
+	t := time.NewTimer(d)
+	select {
+	case <-t.C:
+		return false
+	case <-abort:
+		return true
+	}
+}
+`})
+		out, err := govet(t, tool, dir)
+		if err == nil {
+			t.Fatalf("go vet passed on a leaked timer; output:\n%s", out)
+		}
+		if !strings.Contains(out, "resleak: t acquired here") {
+			t.Fatalf("diagnostic missing from output:\n%s", out)
+		}
+	})
+
 	t.Run("global rand outside internal anywhere fails vet", func(t *testing.T) {
 		dir := writeModule(t, map[string]string{"pkg/jitter/jitter.go": `package jitter
 
@@ -151,7 +216,10 @@ func TestHandshake(t *testing.T) {
 	if err != nil {
 		t.Fatalf("-flags: %v", err)
 	}
-	for _, name := range []string{"simclock", "seededrand", "netdeadline", "donesend"} {
+	for _, name := range []string{
+		"simclock", "seededrand", "netdeadline", "donesend",
+		"maporder", "floatdet", "resleak",
+	} {
 		if !strings.Contains(string(out), `"`+name+`"`) {
 			t.Errorf("-flags JSON missing analyzer %q:\n%s", name, out)
 		}

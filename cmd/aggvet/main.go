@@ -1,5 +1,5 @@
 // Command aggvet is the repo's determinism-and-networking linter: a
-// multichecker over the four invariant analyzers in internal/analysis,
+// multichecker over the seven invariant analyzers in internal/analysis,
 // speaking the "go vet -vettool" protocol. Run it through the build
 // system so packages arrive type-checked with their dependencies'
 // export data:
@@ -8,14 +8,20 @@
 //	go vet -vettool=$(pwd)/bin/aggvet ./...
 //
 // or simply `make lint`. Passing analyzer names as flags selects a
-// subset (e.g. -simclock); by default all four run. See DESIGN.md §8
-// for the invariants and the //aggvet:allow exemption convention.
+// subset (e.g. -simclock); by default all seven run. The first four are
+// syntactic invariant checks from PR 2; maporder, floatdet and resleak
+// are flow-sensitive (CFG + forward dataflow, internal/analysis/cfg).
+// See DESIGN.md §8 for the invariants and the //aggvet:allow exemption
+// convention.
 package main
 
 import (
 	"parallelagg/internal/analysis"
 	"parallelagg/internal/analysis/donesend"
+	"parallelagg/internal/analysis/floatdet"
+	"parallelagg/internal/analysis/maporder"
 	"parallelagg/internal/analysis/netdeadline"
+	"parallelagg/internal/analysis/resleak"
 	"parallelagg/internal/analysis/seededrand"
 	"parallelagg/internal/analysis/simclock"
 )
@@ -26,5 +32,8 @@ func main() {
 		seededrand.Analyzer,
 		netdeadline.Analyzer,
 		donesend.Analyzer,
+		maporder.Analyzer,
+		floatdet.Analyzer,
+		resleak.Analyzer,
 	)
 }

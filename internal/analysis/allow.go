@@ -56,20 +56,55 @@ func buildAllowlist(fset *token.FileSet, files []*ast.File) allowlist {
 	return al
 }
 
-// allows reports whether a diagnostic from the named analyzer at posn
-// is suppressed: the directive may sit on the same line (trailing
-// comment) or on the line above (its own line).
-func (al allowlist) allows(posn token.Position, name string) bool {
-	lines := al[posn.Filename]
-	if lines == nil {
+// allowsDiag reports whether a diagnostic from the named analyzer at
+// pos is suppressed. One matching rule, applied to several candidate
+// lines: the diagnostic's own line (trailing comment), the line above
+// it, and the first line of every statement enclosing the position —
+// so a directive above a multi-line statement (a wrapped `for` header,
+// a range loop) covers diagnostics anywhere inside that statement.
+func (al allowlist) allowsDiag(fset *token.FileSet, files []*ast.File, pos token.Pos, name string) bool {
+	posn := fset.Position(pos)
+	if len(al[posn.Filename]) == 0 {
 		return false
 	}
-	for _, l := range []int{posn.Line, posn.Line - 1} {
-		for _, n := range lines[l] {
-			if n == name {
-				return true
-			}
+	if al.match(posn.Filename, posn.Line, name) || al.match(posn.Filename, posn.Line-1, name) {
+		return true
+	}
+	for _, line := range enclosingStmtLines(fset, files, pos) {
+		if al.match(posn.Filename, line, name) || al.match(posn.Filename, line-1, name) {
+			return true
 		}
 	}
 	return false
+}
+
+func (al allowlist) match(filename string, line int, name string) bool {
+	for _, n := range al[filename][line] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingStmtLines returns the start line of every statement that
+// contains pos, innermost last.
+func enclosingStmtLines(fset *token.FileSet, files []*ast.File, pos token.Pos) []int {
+	var lines []int
+	for _, f := range files {
+		if pos < f.Pos() || pos >= f.End() {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || pos < n.Pos() || pos >= n.End() {
+				return false
+			}
+			if _, ok := n.(ast.Stmt); ok {
+				lines = append(lines, fset.Position(n.Pos()).Line)
+			}
+			return true
+		})
+		break
+	}
+	return lines
 }

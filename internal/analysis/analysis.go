@@ -79,15 +79,15 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 	var out []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		if err := runProtected(a, pass); err != nil {
+			return nil, err
 		}
 		for _, d := range pass.diags {
 			posn := fset.Position(d.Pos)
 			if strings.HasSuffix(posn.Filename, "_test.go") {
 				continue
 			}
-			if allow.allows(posn, d.Analyzer) {
+			if allow.allowsDiag(fset, files, d.Pos, d.Analyzer) {
 				continue
 			}
 			out = append(out, d)
@@ -104,6 +104,22 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 		return pi.Column < pj.Column
 	})
 	return out, nil
+}
+
+// runProtected runs one analyzer, converting a panic into a named error
+// so one buggy analyzer degrades the whole vet run into a diagnosable
+// failure instead of a stack trace with no culprit. Every diagnostic the
+// analyzer reported before panicking is discarded with it.
+func runProtected(a *Analyzer, pass *Pass) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("analyzer %s panicked: %v", a.Name, r)
+		}
+	}()
+	if err := a.Run(pass); err != nil {
+		return fmt.Errorf("analyzer %s: %w", a.Name, err)
+	}
+	return nil
 }
 
 // PathMatches reports whether pkgPath is one of the packages named by

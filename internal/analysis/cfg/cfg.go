@@ -1,0 +1,483 @@
+// Package cfg builds per-function control-flow graphs over go/ast and
+// solves forward dataflow problems on them — the flow-sensitive layer
+// under the maporder, floatdet and resleak analyzers. Like the rest of
+// internal/analysis it is built on the standard library alone (the
+// container ships no golang.org/x/tools), and like x/tools/go/cfg it
+// deliberately models a sequential abstraction of one function body:
+// nested function literals are opaque expressions (they get their own
+// graphs), and panics terminate a path without reaching the exit block.
+//
+// Construction rules (DESIGN.md §8 has the full table):
+//
+//   - A Block is a maximal straight-line statement sequence. Stmts holds
+//     ast.Nodes in execution order; besides statements it contains the
+//     branch condition of if/for headers and the *ast.RangeStmt itself
+//     (as a loop-header marker), so transfer functions observe every
+//     evaluated expression.
+//   - if/for/switch/type-switch/select fan out to one block per arm;
+//     loops get a head block with a back edge from the body (and the
+//     post statement, for three-clause for).
+//   - A loop or switch that can skip its body keeps the fall-through
+//     edge (head → after), so zero-iteration paths exist in the graph.
+//   - return edges to the synthetic Exit block. break/continue/goto
+//     (labeled or not) edge to their targets. A statement that cannot
+//     complete normally — panic(...), os.Exit(...), log.Fatal*(...) —
+//     ends its block with no successors, so facts on that path never
+//     reach Exit.
+package cfg
+
+import (
+	"go/ast"
+)
+
+// A Block is one basic block.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (stable, useful as a
+	// map key or for debugging output).
+	Index int
+
+	// Stmts are the nodes executed in this block, in order. Mostly
+	// ast.Stmt, plus branch-condition ast.Expr for if/for headers and
+	// the *ast.RangeStmt loop-header marker.
+	Stmts []ast.Node
+
+	// Succs are the successor blocks. When Cond is non-nil the block
+	// ends in a two-way branch: Succs[0] is taken when Cond evaluates
+	// true, Succs[1] when it evaluates false.
+	Succs []*Block
+
+	// Cond is the branch condition for two-way branch blocks (if and
+	// for headers), nil otherwise.
+	Cond ast.Expr
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the synthetic function-exit block: every return and the
+	// fall-off-the-end path edge here. It holds no statements.
+	Exit *Block
+}
+
+// New builds the control-flow graph of one function body. body may be
+// the Body of an *ast.FuncDecl or *ast.FuncLit.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}, labels: map[string]*labelTarget{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.jump(b.g.Exit) // fall off the end
+	b.resolveGotos()
+	return b.g
+}
+
+// labelTarget records the blocks a label can transfer control to.
+type labelTarget struct {
+	start *Block // the labeled statement itself (goto target)
+	brk   *Block // after-block of a labeled loop/switch/select (break target)
+	cont  *Block // head block of a labeled loop (continue target)
+}
+
+// loopFrame is one entry of the enclosing-loop stack: where break and
+// continue go for the innermost loop (or switch/select, for break).
+type loopFrame struct {
+	brk  *Block
+	cont *Block // nil for switch/select frames
+}
+
+type builder struct {
+	g     *Graph
+	cur   *Block
+	loops []loopFrame
+	// pendingLabel is the label naming the NEXT loop/switch statement,
+	// consumed by that statement's builder so `break L`/`continue L`
+	// resolve.
+	pendingLabel string
+	labels       map[string]*labelTarget
+	gotos        []pendingGoto
+	// fallthroughTo is the next clause body of the switch currently
+	// being built; a fallthrough statement edges there.
+	fallthroughTo *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge cur → to and is a no-op on a detached (terminated)
+// path.
+func (b *builder) jump(to *Block) {
+	if b.cur == nil {
+		return
+	}
+	b.cur.Succs = append(b.cur.Succs, to)
+}
+
+// startBlock begins a new block reachable from cur (unless the path was
+// terminated) and makes it current.
+func (b *builder) startBlock() *Block {
+	blk := b.newBlock()
+	b.jump(blk)
+	b.cur = blk
+	return blk
+}
+
+// terminate ends the current path: subsequent statements are dead code
+// and go into a fresh unreachable block so the graph stays well-formed.
+func (b *builder) terminate() {
+	b.cur = nil
+}
+
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		// Dead code after return/panic/branch: keep it in the graph
+		// (unreachable, no predecessors) rather than dropping nodes.
+		b.cur = b.newBlock()
+	}
+	b.cur.Stmts = append(b.cur.Stmts, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// registerFrame pushes a loop/switch frame and fills the label target
+// (if the statement was labeled) so labeled break/continue resolve.
+func (b *builder) registerFrame(label string, brk, cont *Block) {
+	b.loops = append(b.loops, loopFrame{brk: brk, cont: cont})
+	if label != "" {
+		t := b.labels[label]
+		if t == nil {
+			t = &labelTarget{}
+			b.labels[label] = t
+		}
+		t.brk = brk
+		t.cont = cont
+	}
+}
+
+func (b *builder) popFrame() { b.loops = b.loops[:len(b.loops)-1] }
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The labeled statement starts its own block (goto target).
+		blk := b.startBlock()
+		t := b.labels[s.Label.Name]
+		if t == nil {
+			t = &labelTarget{}
+			b.labels[s.Label.Name] = t
+		}
+		t.start = blk
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.cur
+		head.Cond = s.Cond
+		after := b.newBlock()
+
+		thenBlk := b.newBlock()
+		head.Succs = append(head.Succs, thenBlk) // true edge first
+		elseTarget := after
+		var elseBlk *Block
+		if s.Else != nil {
+			elseBlk = b.newBlock()
+			elseTarget = elseBlk
+		}
+		head.Succs = append(head.Succs, elseTarget)
+
+		b.cur = thenBlk
+		b.stmtList(s.Body.List)
+		b.jump(after)
+		if elseBlk != nil {
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.jump(after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.startBlock()
+		after := b.newBlock()
+		body := b.newBlock()
+		if s.Cond != nil {
+			b.add(s.Cond)
+			head.Cond = s.Cond
+			head.Succs = append(head.Succs, body, after)
+		} else {
+			// for {}: no normal exit; after is reachable only by break.
+			head.Succs = append(head.Succs, body)
+		}
+		// continue goes to the post statement (its own block) when there
+		// is one, else straight to the head.
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Stmts = append(post.Stmts, s.Post)
+			post.Succs = append(post.Succs, head)
+			cont = post
+		}
+		b.registerFrame(label, after, cont)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.jump(cont)
+		b.popFrame()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.startBlock()
+		// The RangeStmt itself is the loop-header marker: transfer
+		// functions see it once per entry to the head block.
+		head.Stmts = append(head.Stmts, s)
+		after := b.newBlock()
+		body := b.newBlock()
+		// A range may execute zero times: both edges exist.
+		head.Succs = append(head.Succs, body, after)
+		b.registerFrame(label, after, head)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.jump(head)
+		b.popFrame()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(label, s.Body.List, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			cc := c.(*ast.CaseClause)
+			var exprs []ast.Node
+			for _, e := range cc.List {
+				exprs = append(exprs, e)
+			}
+			return exprs, cc.Body, cc.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(label, s.Body.List, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			cc := c.(*ast.CaseClause)
+			var exprs []ast.Node
+			for _, e := range cc.List {
+				exprs = append(exprs, e)
+			}
+			return exprs, cc.Body, cc.List == nil
+		})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		if head == nil {
+			head = b.newBlock()
+			b.cur = head
+		}
+		after := b.newBlock()
+		b.registerFrame(label, after, nil)
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			blk := b.newBlock()
+			head.Succs = append(head.Succs, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jump(after)
+		}
+		_ = hasDefault // a select with no cases blocks forever; keep after reachable via break only
+		b.popFrame()
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok.String() {
+		case "break":
+			if s.Label != nil {
+				if t := b.labels[s.Label.Name]; t != nil && t.brk != nil {
+					b.jump(t.brk)
+				}
+			} else if f := b.innerBreak(); f != nil {
+				b.jump(f.brk)
+			}
+			b.terminate()
+		case "continue":
+			if s.Label != nil {
+				if t := b.labels[s.Label.Name]; t != nil && t.cont != nil {
+					b.jump(t.cont)
+				}
+			} else if f := b.innerContinue(); f != nil {
+				b.jump(f.cont)
+			}
+			b.terminate()
+		case "goto":
+			if s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.terminate()
+		case "fallthrough":
+			if b.fallthroughTo != nil {
+				b.jump(b.fallthroughTo)
+			}
+			b.terminate()
+		}
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if callTerminates(s.X) {
+			b.terminate()
+		}
+
+	default:
+		// Assignments, declarations, sends, defer, go, inc/dec, empty
+		// statements: plain straight-line nodes.
+		b.add(s)
+	}
+}
+
+// switchClauses builds the shared clause structure of switch and type
+// switch: the head branches to every clause (and to after when there is
+// no default); fallthrough chains a clause to the next clause's body.
+func (b *builder) switchClauses(label string, clauses []ast.Stmt, split func(ast.Stmt) (exprs []ast.Node, body []ast.Stmt, isDefault bool)) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	after := b.newBlock()
+	b.registerFrame(label, after, nil)
+
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, c := range clauses {
+		exprs, _, isDefault := split(c)
+		if isDefault {
+			hasDefault = true
+		}
+		bodies[i].Stmts = append(bodies[i].Stmts, exprs...)
+		head.Succs = append(head.Succs, bodies[i])
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, after)
+	}
+	outerFallthrough := b.fallthroughTo
+	for i, c := range clauses {
+		_, body, _ := split(c)
+		b.cur = bodies[i]
+		if i+1 < len(bodies) {
+			b.fallthroughTo = bodies[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.stmtList(body)
+		b.jump(after)
+	}
+	b.fallthroughTo = outerFallthrough
+	b.popFrame()
+	b.cur = after
+}
+
+func (b *builder) innerBreak() *loopFrame {
+	if len(b.loops) == 0 {
+		return nil
+	}
+	return &b.loops[len(b.loops)-1]
+}
+
+func (b *builder) innerContinue() *loopFrame {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if b.loops[i].cont != nil {
+			return &b.loops[i]
+		}
+	}
+	return nil
+}
+
+func (b *builder) resolveGotos() {
+	for _, g := range b.gotos {
+		if t := b.labels[g.label]; t != nil && t.start != nil && g.from != nil {
+			g.from.Succs = append(g.from.Succs, t.start)
+		}
+	}
+}
+
+// callTerminates reports whether an expression statement never returns:
+// panic(...), os.Exit(...), log.Fatal/Fatalf/Fatalln(...). The test is
+// lexical (by selector spelling), which is what a CFG without type
+// information for other packages can know; a shadowed `os` would just
+// cost an edge of precision, never a missed diagnostic path.
+func callTerminates(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+			return true
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		}
+	}
+	return false
+}

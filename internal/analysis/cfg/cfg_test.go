@@ -1,0 +1,421 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+
+	"parallelagg/internal/analysis/cfg"
+)
+
+// build parses a function body and returns its CFG. The body can use the
+// parameters declared below plus genX()/killX() marker calls, which the
+// test transfer function interprets as gen/kill of fact "X".
+func build(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	src := "package p\n" +
+		"func f(c, d bool, n int, m map[int]int, ch chan int) {\n" +
+		body +
+		"\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	g := cfg.New(fn.Body)
+	checkWellFormed(t, g)
+	return g
+}
+
+func checkWellFormed(t *testing.T, g *cfg.Graph) {
+	t.Helper()
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatalf("nil entry/exit")
+	}
+	if len(g.Exit.Succs) != 0 {
+		t.Fatalf("exit block has successors")
+	}
+	index := map[*cfg.Block]bool{}
+	for i, blk := range g.Blocks {
+		if blk.Index != i {
+			t.Fatalf("block %d has Index %d", i, blk.Index)
+		}
+		index[blk] = true
+	}
+	for _, blk := range g.Blocks {
+		if blk.Cond != nil && len(blk.Succs) < 2 {
+			t.Fatalf("block %d has Cond but %d successors", blk.Index, len(blk.Succs))
+		}
+		for _, s := range blk.Succs {
+			if !index[s] {
+				t.Fatalf("block %d has successor outside the graph", blk.Index)
+			}
+		}
+	}
+}
+
+// markerTransfer is the test dataflow: genX() adds fact "X", killX()
+// removes it. Loop-header markers and everything else are no-ops.
+func markerTransfer(n ast.Node, facts cfg.Facts[string]) {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return
+	}
+	switch {
+	case strings.HasPrefix(id.Name, "gen"):
+		facts.Add(strings.TrimPrefix(id.Name, "gen"))
+	case strings.HasPrefix(id.Name, "kill"):
+		facts.Delete(strings.TrimPrefix(id.Name, "kill"))
+	}
+}
+
+// exitFacts solves the marker problem and returns the facts reaching the
+// exit block, sorted.
+func exitFacts(t *testing.T, body string, refine func(ast.Expr, bool, cfg.Facts[string])) []string {
+	t.Helper()
+	g := build(t, body)
+	in := cfg.Forward(g, cfg.Problem[string]{Transfer: markerTransfer, Refine: refine})
+	var out []string
+	for f := range in[g.Exit] {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func eq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIfElseJoin(t *testing.T) {
+	got := exitFacts(t, `
+		if c {
+			genA()
+		} else {
+			genB()
+		}
+	`, nil)
+	if !eq(got, []string{"A", "B"}) {
+		t.Errorf("exit facts = %v, want [A B]", got)
+	}
+}
+
+func TestKillOnOneBranchSurvivesJoin(t *testing.T) {
+	// May-analysis: a kill on only one branch does not kill at the join.
+	got := exitFacts(t, `
+		genA()
+		if c {
+			killA()
+		}
+	`, nil)
+	if !eq(got, []string{"A"}) {
+		t.Errorf("exit facts = %v, want [A]", got)
+	}
+}
+
+func TestKillOnAllBranches(t *testing.T) {
+	got := exitFacts(t, `
+		genA()
+		if c {
+			killA()
+		} else {
+			killA()
+		}
+	`, nil)
+	if len(got) != 0 {
+		t.Errorf("exit facts = %v, want []", got)
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	// A fact generated late in a loop body flows around the back edge: a
+	// kill earlier in the body cannot erase it on the second iteration's
+	// exit path... but here the kill precedes the gen on every pass, so
+	// the gen always wins on the path that leaves the loop.
+	got := exitFacts(t, `
+		for i := 0; i < n; i++ {
+			killA()
+			genA()
+		}
+	`, nil)
+	if !eq(got, []string{"A"}) {
+		t.Errorf("exit facts = %v, want [A]", got)
+	}
+	// And the reverse: gen-then-kill inside the body leaves nothing, even
+	// with the back edge.
+	got = exitFacts(t, `
+		for i := 0; i < n; i++ {
+			genA()
+			killA()
+		}
+	`, nil)
+	if len(got) != 0 {
+		t.Errorf("exit facts = %v, want []", got)
+	}
+}
+
+func TestRangeZeroIterationEdge(t *testing.T) {
+	// A kill inside a range body does not kill on the zero-iteration
+	// path: head → after bypasses the body.
+	got := exitFacts(t, `
+		genA()
+		for k := range m {
+			_ = k
+			killA()
+		}
+	`, nil)
+	if !eq(got, []string{"A"}) {
+		t.Errorf("exit facts = %v, want [A] (zero-iteration path must survive)", got)
+	}
+}
+
+func TestPanicTerminatesPath(t *testing.T) {
+	got := exitFacts(t, `
+		if c {
+			genA()
+			panic("boom")
+		}
+		genB()
+	`, nil)
+	if !eq(got, []string{"B"}) {
+		t.Errorf("exit facts = %v, want [B] (panic path must not reach exit)", got)
+	}
+}
+
+func TestReturnReachesExit(t *testing.T) {
+	got := exitFacts(t, `
+		if c {
+			genA()
+			return
+		}
+		genB()
+	`, nil)
+	if !eq(got, []string{"A", "B"}) {
+		t.Errorf("exit facts = %v, want [A B]", got)
+	}
+}
+
+func TestOsExitTerminates(t *testing.T) {
+	got := exitFacts(t, `
+		if c {
+			genA()
+			os.Exit(1)
+		}
+		genB()
+	`, nil)
+	if !eq(got, []string{"B"}) {
+		t.Errorf("exit facts = %v, want [B]", got)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	// Case 1's facts flow into case 2 via fallthrough, where A is killed.
+	got := exitFacts(t, `
+		switch n {
+		case 1:
+			genA()
+			fallthrough
+		case 2:
+			killA()
+			genB()
+		}
+	`, nil)
+	if !eq(got, []string{"B"}) {
+		t.Errorf("exit facts = %v, want [B] (fallthrough must reach next clause)", got)
+	}
+	// Without the kill the fact survives through the fallthrough chain.
+	got = exitFacts(t, `
+		switch n {
+		case 1:
+			genA()
+			fallthrough
+		case 2:
+			genB()
+		}
+	`, nil)
+	if !eq(got, []string{"A", "B"}) {
+		t.Errorf("exit facts = %v, want [A B]", got)
+	}
+}
+
+func TestSwitchWithoutDefaultKeepsBypass(t *testing.T) {
+	got := exitFacts(t, `
+		genA()
+		switch n {
+		case 1:
+			killA()
+		case 2:
+			killA()
+		}
+	`, nil)
+	if !eq(got, []string{"A"}) {
+		t.Errorf("exit facts = %v, want [A] (no-default switch can skip all clauses)", got)
+	}
+	got = exitFacts(t, `
+		genA()
+		switch n {
+		case 1:
+			killA()
+		default:
+			killA()
+		}
+	`, nil)
+	if len(got) != 0 {
+		t.Errorf("exit facts = %v, want [] (default makes the kill total)", got)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	got := exitFacts(t, `
+	L:
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if c {
+					genA()
+					break L
+				}
+				genB()
+			}
+		}
+		genC()
+	`, nil)
+	if !eq(got, []string{"A", "B", "C"}) {
+		t.Errorf("exit facts = %v, want [A B C]", got)
+	}
+}
+
+func TestContinueSkipsRestOfBody(t *testing.T) {
+	// On the continue path the kill is skipped, so A escapes the loop.
+	got := exitFacts(t, `
+		for i := 0; i < n; i++ {
+			genA()
+			if c {
+				continue
+			}
+			killA()
+		}
+	`, nil)
+	if !eq(got, []string{"A"}) {
+		t.Errorf("exit facts = %v, want [A] (continue path skips the kill)", got)
+	}
+}
+
+func TestGotoEdgeAndDeadCode(t *testing.T) {
+	got := exitFacts(t, `
+		genA()
+		goto L
+		genDead()
+	L:
+		genB()
+	`, nil)
+	if !eq(got, []string{"A", "B"}) {
+		t.Errorf("exit facts = %v, want [A B] (dead code must not contribute)", got)
+	}
+}
+
+func TestSelectClausesJoin(t *testing.T) {
+	got := exitFacts(t, `
+		select {
+		case <-ch:
+			genA()
+		default:
+			genB()
+		}
+	`, nil)
+	if !eq(got, []string{"A", "B"}) {
+		t.Errorf("exit facts = %v, want [A B]", got)
+	}
+}
+
+func TestInfiniteLoopOnlyExitsViaBreak(t *testing.T) {
+	got := exitFacts(t, `
+		genA()
+		for {
+			killA()
+			if c {
+				genB()
+				break
+			}
+		}
+	`, nil)
+	// The only way out is the break: A is dead there, B is live.
+	if !eq(got, []string{"B"}) {
+		t.Errorf("exit facts = %v, want [B] (no fall-through exit from for{})", got)
+	}
+}
+
+func TestRefineOnBranchEdges(t *testing.T) {
+	// Refine kills A on the true edge of every branch: the return path
+	// inside the if loses A, and the else-path kill removes it too, so
+	// only B survives.
+	refine := func(cond ast.Expr, branch bool, facts cfg.Facts[string]) {
+		if branch {
+			facts.Delete("A")
+		}
+	}
+	got := exitFacts(t, `
+		genA()
+		if c {
+			genB()
+			return
+		}
+		killA()
+	`, refine)
+	if !eq(got, []string{"B"}) {
+		t.Errorf("exit facts = %v, want [B]", got)
+	}
+	// Without Refine, A reaches exit through the return path.
+	got = exitFacts(t, `
+		genA()
+		if c {
+			genB()
+			return
+		}
+		killA()
+	`, nil)
+	if !eq(got, []string{"A", "B"}) {
+		t.Errorf("exit facts = %v, want [A B]", got)
+	}
+}
+
+func TestFuncBodies(t *testing.T) {
+	src := `package p
+func a() { _ = func() { _ = func() {} } }
+func b()
+var v = func() int { return 0 }
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	count := 0
+	cfg.FuncBodies(file, func(body *ast.BlockStmt) {
+		count++
+		checkWellFormed(t, cfg.New(body))
+	})
+	// a, two nested literals, and the package-level literal; b has no body.
+	if count != 4 {
+		t.Errorf("FuncBodies visited %d bodies, want 4", count)
+	}
+}

@@ -1,0 +1,135 @@
+package cfg
+
+import (
+	"go/ast"
+)
+
+// Facts is a set of dataflow facts. The fact type must be comparable;
+// analyzers typically use a small struct of types.Object and position
+// fields identifying "variable X is tainted because of statement Y".
+type Facts[F comparable] map[F]struct{}
+
+// Add inserts a fact.
+func (f Facts[F]) Add(x F) { f[x] = struct{}{} }
+
+// Has reports membership.
+func (f Facts[F]) Has(x F) bool {
+	_, ok := f[x]
+	return ok
+}
+
+// Delete removes a fact.
+func (f Facts[F]) Delete(x F) { delete(f, x) }
+
+// DeleteFunc removes every fact for which keep returns true.
+func (f Facts[F]) DeleteFunc(del func(F) bool) {
+	for x := range f {
+		if del(x) {
+			delete(f, x)
+		}
+	}
+}
+
+func (f Facts[F]) clone() Facts[F] {
+	out := make(Facts[F], len(f))
+	for x := range f {
+		out[x] = struct{}{}
+	}
+	return out
+}
+
+// union merges src into f, reporting whether f grew.
+func (f Facts[F]) union(src Facts[F]) bool {
+	grew := false
+	for x := range src {
+		if _, ok := f[x]; !ok {
+			f[x] = struct{}{}
+			grew = true
+		}
+	}
+	return grew
+}
+
+// A Problem is one forward may-dataflow analysis: facts start empty at
+// the entry block, flow through Transfer at every node, and merge by
+// set union at join points (a fact holds at a point if it holds on SOME
+// path to it — the conservative direction for "may be unsorted" and
+// "may still be open").
+type Problem[F comparable] struct {
+	// Transfer mutates the fact set in place for one node of a block
+	// (gen/kill). It must be deterministic and monotone in the gen/kill
+	// sense: whether a fact is added or removed may depend on the node
+	// only, not on the presence of other facts, or the fixpoint
+	// iteration is not guaranteed to terminate.
+	Transfer func(n ast.Node, facts Facts[F])
+
+	// Refine, if non-nil, adjusts facts crossing the conditional edge
+	// out of a block with a non-nil Cond: branch is true for the taken
+	// (Succs[0]) edge, false for the fall-through (Succs[1]) edge. It is
+	// how resleak kills a resource fact on the `if err != nil` branch —
+	// the acquisition failed there, so there is nothing to close.
+	Refine func(cond ast.Expr, branch bool, facts Facts[F])
+}
+
+// Forward solves the problem to fixpoint and returns the fact set at
+// the ENTRY of every block. Re-applying Transfer over a block's Stmts
+// from In[blk] reproduces the facts at any interior point — that is how
+// analyzers run their reporting pass after the solve.
+//
+// Termination: the fact domain is finite (facts reference objects and
+// positions of one function), in-sets only ever grow (union join), and
+// a block is re-queued only when its in-set grew, so the worklist loop
+// runs at most O(blocks × facts × edges) iterations.
+func Forward[F comparable](g *Graph, p Problem[F]) map[*Block]Facts[F] {
+	in := make(map[*Block]Facts[F], len(g.Blocks))
+	for _, blk := range g.Blocks {
+		in[blk] = Facts[F]{}
+	}
+	// Seed with the entry block; unreachable blocks keep empty in-sets
+	// and are never processed, so dead code cannot contribute facts.
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	visited := map[*Block]bool{}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		visited[blk] = true
+
+		out := in[blk].clone()
+		for _, n := range blk.Stmts {
+			p.Transfer(n, out)
+		}
+		for i, succ := range blk.Succs {
+			flow := out
+			if p.Refine != nil && blk.Cond != nil && i < 2 {
+				flow = out.clone()
+				p.Refine(blk.Cond, i == 0, flow)
+			}
+			// Every reachable block is processed at least once even if no
+			// facts flow into it; after that, only in-set growth re-queues.
+			if (in[succ].union(flow) || !visited[succ]) && !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// FuncBodies walks the file and calls fn for every function body:
+// top-level declarations and every nested function literal. Analyzers
+// build one Graph per body, mirroring Go's actual execution units.
+func FuncBodies(f *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n.Body)
+		}
+		return true
+	})
+}

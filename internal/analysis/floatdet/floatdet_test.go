@@ -1,0 +1,12 @@
+package floatdet_test
+
+import (
+	"testing"
+
+	"parallelagg/internal/analysis/analysistest"
+	"parallelagg/internal/analysis/floatdet"
+)
+
+func TestFloatDet(t *testing.T) {
+	analysistest.Run(t, "testdata", floatdet.Analyzer, "a")
+}

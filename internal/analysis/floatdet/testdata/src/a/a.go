@@ -1,0 +1,94 @@
+// Fixtures for floatdet: float accumulation in map iteration order is
+// flagged module-wide; order-fixed and order-invariant accumulations
+// are clean.
+package a
+
+func sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `floatdet: float accumulation in map iteration order`
+	}
+	return s
+}
+
+func expandedForm(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s = v + s // want `floatdet: float accumulation in map iteration order`
+	}
+	return s
+}
+
+func product(m map[string]float32) float32 {
+	p := float32(1)
+	for _, v := range m {
+		p *= v // want `floatdet: float accumulation in map iteration order`
+	}
+	return p
+}
+
+// Accumulating into a cell addressed by a derived group id: iterations
+// can collide on the same cell, so order still matters.
+func grouped(src map[string]float64, groupOf map[string]int) []float64 {
+	out := make([]float64, 4)
+	for k, v := range src {
+		out[groupOf[k]] += v // want `floatdet: float accumulation in map iteration order`
+	}
+	return out
+}
+
+// Clean: the cell is addressed by the loop key itself, so each cell is
+// touched exactly once per source map — order cannot change the result.
+func merge(dst, src map[string]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// Clean: the iteration order is fixed by the sorted key slice.
+func sumSorted(keys []string, m map[string]float64) float64 {
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// Clean: integer accumulation is associative and commutative.
+func intSum(m map[string]int64) int64 {
+	var s int64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Clean: plain overwrite, not an accumulation.
+func last(m map[string]float64) float64 {
+	var x float64
+	for _, v := range m {
+		x = v * 2
+	}
+	return x
+}
+
+func allowed(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		//aggvet:allow floatdet -- estimator tolerates ±ulp jitter
+		s += v
+	}
+	return s
+}
+
+// Regression for the enclosing-statement allow rule: the directive sits
+// on the line above the (multi-line) range statement, two lines above
+// the diagnostic inside it.
+func allowedAboveLoop(m map[string]float64) float64 {
+	var s float64
+	//aggvet:allow floatdet -- whole loop exempted from the line above
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file holds the shared pieces of the flow-sensitive analyzers
+// (maporder, floatdet, resleak): map-range detection, sort-call
+// recognition for "sorted-keys" facts, and value-escape tracking for
+// range loop variables. The CFG and the generic solver live in the cfg
+// subpackage; these helpers are the type-aware vocabulary the transfer
+// functions are written in.
+
+// IsMapRange reports whether rng iterates a map. Ordering hazards are
+// specific to maps: slice, channel and integer ranges are fully
+// deterministic.
+func IsMapRange(info *types.Info, rng *ast.RangeStmt) bool {
+	tv, ok := info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// RootObject resolves the base variable of an lvalue-ish expression
+// chain: out, out[i], s.buf, (*p).conn, &x all root at the declaring
+// object of the leftmost identifier. It returns nil for expressions
+// with no stable base (calls, literals).
+func RootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			// A qualified identifier (pkg.Var) roots at the var; a field
+			// selection roots at the receiver chain's base.
+			if ImportedPackage(info, firstIdent(x.X)) != nil {
+				return info.ObjectOf(x.Sel)
+			}
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func firstIdent(e ast.Expr) *ast.Ident {
+	id, _ := e.(*ast.Ident)
+	return id
+}
+
+// sortFuncs lists the order-fixing functions per package path. Any call
+// to one of these establishes a "sorted" fact for the root of its first
+// argument.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// SortCallTarget reports whether call is a recognized sorting call
+// (sort.Slice and friends, slices.Sort and friends) and returns the
+// expression being sorted.
+func SortCallTarget(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	pkg := ImportedPackage(info, id)
+	if pkg == nil {
+		return nil, false
+	}
+	names := sortFuncs[pkg.Path()]
+	if names == nil || !names[sel.Sel.Name] {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// RangeTaint computes the set of objects carrying the iteration order
+// of one range loop: the key and value variables themselves plus every
+// local transitively assigned from an expression mentioning a tainted
+// object anywhere in the body (d := k.Dest(n), kv := pair{k, v}, ...).
+// The closure is flow-insensitive within the body, which over-taints a
+// variable that is later reassigned from clean data — the conservative
+// direction for an ordering check.
+func RangeTaint(info *types.Info, rng *ast.RangeStmt) map[types.Object]bool {
+	taint := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.ObjectOf(id); obj != nil {
+				taint[obj] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := info.ObjectOf(id)
+				if obj == nil || taint[obj] {
+					continue
+				}
+				// Tuple assignments taint every lhs from any tainted rhs;
+				// per-position matching is not worth the precision.
+				rhs := as.Rhs
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[i : i+1]
+				}
+				for _, r := range rhs {
+					if MentionsAny(info, r, taint) {
+						taint[obj] = true
+						changed = true
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return taint
+}
+
+// MentionsAny reports whether any identifier under n resolves to an
+// object in set.
+func MentionsAny(info *types.Info, n ast.Node, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil && set[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

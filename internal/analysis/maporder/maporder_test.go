@@ -1,0 +1,15 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"parallelagg/internal/analysis/analysistest"
+	"parallelagg/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer,
+		"parallelagg/internal/exec",     // in scope: wants diagnostics
+		"parallelagg/internal/workload", // out of scope: must be clean
+	)
+}

@@ -1,0 +1,8 @@
+// Package sort is a stub of the standard library's sort package, just
+// rich enough to type-check the maporder fixtures hermetically.
+package sort
+
+func Slice(x interface{}, less func(i, j int) bool)       {}
+func SliceStable(x interface{}, less func(i, j int) bool) {}
+func Strings(x []string)                                  {}
+func Ints(x []int)                                        {}

@@ -1,0 +1,293 @@
+// Package resleak flags releasable resources that can leave a function
+// neither released nor handed off: a time.Timer/time.Ticker that never
+// reaches Stop, or a net.Conn/net.Listener/os.File that never reaches
+// Close, on some path out of the function.
+//
+// This is the timer-leak class go vet misses: an early return between
+// acquisition and the deferred Stop, an error path that closes some
+// listeners but not the one just opened, a retry loop that reassigns a
+// conn without closing the old one ... The analyzer is flow-sensitive:
+// it builds the function's CFG, generates an "open" fact at each
+// acquisition, kills it when the resource is released (x.Stop/x.Close,
+// directly or deferred), returned, sent, stored, captured by a closure,
+// or passed to any call (ownership handed off — the callee or tracker
+// is responsible now), and reports facts that survive to the function
+// exit. Error paths are modelled: after `x, err := f()`, the fact is
+// dropped on the err != nil edge, where the contract says x is nil.
+//
+// Scoped to internal/dist, internal/faultnet and live — the layers that
+// touch real OS resources; the simulation layers hold none.
+package resleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"parallelagg/internal/analysis"
+	"parallelagg/internal/analysis/cfg"
+)
+
+// Packages scopes the analyzer to the real-resource layers. "live"
+// matches both live/ and internal/live.
+var Packages = []string{"internal/dist", "internal/faultnet", "live"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "resleak",
+	Doc: "flag timers/tickers/conns/files that miss Stop/Close on some path\n\n" +
+		"A time.Timer, time.Ticker, net.Conn, net.Listener, or os.File acquired in\n" +
+		"a function must reach its Stop/Close on every path out of the function,\n" +
+		"or be returned, stored, or handed to another owner. Leaked timers pin\n" +
+		"goroutines and leaked conns/files pin file descriptors for the process\n" +
+		"lifetime.",
+	Run: run,
+}
+
+// A fact says: the resource in obj, acquired at pos, is open and this
+// function is responsible for calling release on it. errObj is the
+// error paired with the acquisition, if any.
+type fact struct {
+	obj     types.Object
+	errObj  types.Object
+	pos     token.Pos
+	release string
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatches(pass.Pkg.Path(), Packages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		cfg.FuncBodies(f, func(body *ast.BlockStmt) {
+			checkBody(pass, body)
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	g := cfg.New(body)
+	c := &checker{info: info}
+	in := cfg.Forward(g, cfg.Problem[fact]{Transfer: c.transfer, Refine: c.refine})
+	for f := range in[g.Exit] {
+		pass.Reportf(f.pos,
+			"%s acquired here does not reach %s on every path out of the function: add `defer %s.%s()` right after the acquisition, or hand the handle to an owner on every path",
+			f.obj.Name(), f.release, f.obj.Name(), f.release)
+	}
+}
+
+type checker struct {
+	info *types.Info
+}
+
+func (c *checker) transfer(n ast.Node, facts cfg.Facts[fact]) {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		return // loop-header marker: body statements transfer themselves
+
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			c.killMentioned(r, facts)
+		}
+
+	case *ast.SendStmt:
+		c.killMentioned(n.Value, facts)
+
+	case *ast.DeferStmt, *ast.GoStmt:
+		// A deferred x.Close() (possibly in a closure) releases on every
+		// exit; a goroutine using x owns it now. Either way this
+		// function's obligation ends.
+		c.killMentioned(n, facts)
+
+	case *ast.AssignStmt:
+		// The old value of a reassigned variable is no longer tracked
+		// (strong update), rhs uses hand the resource off, and a call
+		// rhs may acquire a new resource.
+		for _, rhs := range n.Rhs {
+			if _, isCall := rhs.(*ast.CallExpr); isCall {
+				c.killCalls(rhs, facts, true)
+			} else {
+				// Alias, composite literal, or closure value: the handle
+				// now has another owner this analysis cannot track.
+				c.killMentioned(rhs, facts)
+			}
+		}
+		for _, lhs := range n.Lhs {
+			if _, plain := lhs.(*ast.Ident); !plain {
+				// m[conn] = ..., s.conn = ...: the resource is now
+				// reachable through the store target.
+				c.killMentioned(lhs, facts)
+			}
+		}
+		for _, lhs := range n.Lhs {
+			if id, plain := lhs.(*ast.Ident); plain {
+				if obj := c.info.ObjectOf(id); obj != nil {
+					facts.DeleteFunc(func(f fact) bool { return f.obj == obj })
+				}
+			}
+		}
+		c.acquisitions(n, facts)
+
+	default:
+		// Bare expressions in the CFG are branch conditions, switch tags
+		// and case expressions: a call there (isBad(conn), err != nil) is
+		// a use, not a handoff — only an explicit release kills. Full
+		// statements get handoff semantics too.
+		_, isExpr := n.(ast.Expr)
+		c.killCalls(n, facts, !isExpr)
+	}
+}
+
+// killCalls scans n for calls: a release method on a tracked resource
+// kills its fact; when handoffs is true, any other call mentioning the
+// resource in an argument (or capturing it in a function-literal
+// argument) transfers ownership and kills it too.
+func (c *checker) killCalls(n ast.Node, facts cfg.Facts[fact], handoffs bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if recv := analysis.RootObject(c.info, sel.X); recv != nil {
+				released := false
+				facts.DeleteFunc(func(f fact) bool {
+					if f.obj == recv && sel.Sel.Name == f.release {
+						released = true
+						return true
+					}
+					return false
+				})
+				if released {
+					return true
+				}
+			}
+		}
+		if handoffs {
+			for _, arg := range call.Args {
+				c.killMentioned(arg, facts)
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) killMentioned(n ast.Node, facts cfg.Facts[fact]) {
+	facts.DeleteFunc(func(f fact) bool {
+		return analysis.MentionsAny(c.info, n, map[types.Object]bool{f.obj: true})
+	})
+}
+
+// acquisitions generates facts for resource-typed variables assigned
+// from a call: x := f(), x, err := f(), x, y = f(), g().
+func (c *checker) acquisitions(as *ast.AssignStmt, facts cfg.Facts[fact]) {
+	// Map each lhs position to its rhs call, handling both n:n and the
+	// n:1 multi-value form.
+	rhsFor := func(i int) *ast.CallExpr {
+		if len(as.Rhs) == 1 {
+			call, _ := as.Rhs[0].(*ast.CallExpr)
+			return call
+		}
+		if i < len(as.Rhs) {
+			call, _ := as.Rhs[i].(*ast.CallExpr)
+			return call
+		}
+		return nil
+	}
+	// The error paired with the acquisition, for the nil-on-error
+	// contract: x, err := f().
+	var errObj types.Object
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			if obj := c.info.ObjectOf(id); obj != nil && isErrorType(obj.Type()) {
+				errObj = obj
+			}
+		}
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" || rhsFor(i) == nil {
+			continue
+		}
+		obj := c.info.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		release, ok := resourceRelease(obj.Type())
+		if !ok {
+			continue
+		}
+		facts.Add(fact{obj: obj, errObj: errObj, pos: id.Pos(), release: release})
+	}
+}
+
+// refine models the nil-on-error contract on branch edges: on the edge
+// where the paired error is known non-nil, the resource was never
+// acquired, so the fact is dropped.
+func (c *checker) refine(cond ast.Expr, branch bool, facts cfg.Facts[fact]) {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return
+	}
+	var side ast.Expr
+	switch {
+	case isNilIdent(bin.Y):
+		side = bin.X
+	case isNilIdent(bin.X):
+		side = bin.Y
+	default:
+		return
+	}
+	id, ok := side.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := c.info.ObjectOf(id)
+	if obj == nil || !isErrorType(obj.Type()) {
+		return
+	}
+	// err != nil: non-nil on the true edge; err == nil: on the false edge.
+	nonNilEdge := (bin.Op == token.NEQ) == branch
+	if nonNilEdge {
+		facts.DeleteFunc(func(f fact) bool { return f.errObj == obj })
+	}
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// releasable maps package path → type name → release method.
+var releasable = map[string]map[string]string{
+	"time": {"Timer": "Stop", "Ticker": "Stop"},
+	"net": {
+		"Conn": "Close", "TCPConn": "Close", "UDPConn": "Close",
+		"UnixConn": "Close", "Listener": "Close", "TCPListener": "Close",
+		"UnixListener": "Close",
+	},
+	"os": {"File": "Close"},
+}
+
+// resourceRelease reports whether t is (a pointer to) a tracked
+// resource type and which method releases it.
+func resourceRelease(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	byName := releasable[named.Obj().Pkg().Path()]
+	if byName == nil {
+		return "", false
+	}
+	release, ok := byName[named.Obj().Name()]
+	return release, ok
+}

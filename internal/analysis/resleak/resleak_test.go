@@ -1,0 +1,15 @@
+package resleak_test
+
+import (
+	"testing"
+
+	"parallelagg/internal/analysis/analysistest"
+	"parallelagg/internal/analysis/resleak"
+)
+
+func TestResLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", resleak.Analyzer,
+		"parallelagg/internal/dist",     // in scope: wants diagnostics
+		"parallelagg/internal/workload", // out of scope: must be clean
+	)
+}

@@ -1,0 +1,21 @@
+// Package net is a stub of the standard library's net package, just
+// rich enough to type-check the resleak fixtures hermetically.
+package net
+
+type Addr interface{ String() string }
+
+type Conn interface {
+	Read(b []byte) (int, error)
+	Write(b []byte) (int, error)
+	Close() error
+	RemoteAddr() Addr
+}
+
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() Addr
+}
+
+func Dial(network, address string) (Conn, error)   { return nil, nil }
+func Listen(network, address string) (Listener, error) { return nil, nil }

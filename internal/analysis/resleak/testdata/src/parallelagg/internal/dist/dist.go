@@ -1,0 +1,200 @@
+// Fixtures for resleak: flagged and clean control-flow paths from
+// resource acquisition to release, handoff, or leak. Import path
+// parallelagg/internal/dist puts the package in the analyzer's scope.
+package dist
+
+import (
+	"net"
+	"os"
+	"time"
+)
+
+type state struct {
+	conn net.Conn
+	errs []error
+}
+
+func consume(c net.Conn)   {}
+func isBad(c net.Conn) bool { return false }
+
+// --- timers ---
+
+func leakEarlyReturn(d time.Duration, c bool) error {
+	t := time.NewTimer(d) // want `resleak: t acquired here does not reach Stop`
+	if c {
+		return nil
+	}
+	t.Stop()
+	return nil
+}
+
+func cleanDeferStop(d time.Duration, c bool) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	if c {
+		return nil
+	}
+	return nil
+}
+
+func cleanStopOnAllPaths(d time.Duration, c bool) {
+	t := time.NewTicker(d)
+	if c {
+		t.Stop()
+		return
+	}
+	t.Stop()
+}
+
+func cleanDeferredClosure(d time.Duration, c bool) {
+	t := time.NewTimer(d)
+	defer func() { t.Stop() }()
+	if c {
+		return
+	}
+}
+
+// A path that panics never reaches the function exit: the process is
+// dying, so the timer is not a leak on that path.
+func cleanPanicPath(d time.Duration, c bool) {
+	t := time.NewTimer(d)
+	if c {
+		panic("boom")
+	}
+	t.Stop()
+}
+
+// --- conns and listeners, with the nil-on-error contract ---
+
+func cleanErrPair() error {
+	ln, err := net.Listen("tcp", ":0")
+	if err != nil {
+		return err // clean: ln is nil on this path
+	}
+	ln.Close()
+	return nil
+}
+
+func leakOnSomePath(c bool) error {
+	ln, err := net.Listen("tcp", ":0") // want `resleak: ln acquired here does not reach Close`
+	if err != nil {
+		return err
+	}
+	if c {
+		return nil // leaks ln
+	}
+	ln.Close()
+	return nil
+}
+
+func cleanReturned() (net.Conn, error) {
+	conn, err := net.Dial("tcp", "peer:1")
+	if err != nil {
+		return nil, err
+	}
+	return conn, nil // clean: ownership transferred to the caller
+}
+
+func cleanHandoff(register func(net.Conn)) error {
+	conn, err := net.Dial("tcp", "peer:1")
+	if err != nil {
+		return err
+	}
+	register(conn) // clean: the registry owns it now
+	return nil
+}
+
+func cleanStored(s *state) error {
+	conn, err := net.Dial("tcp", "peer:1")
+	if err != nil {
+		return err
+	}
+	s.conn = conn // clean: reachable through s after return
+	return nil
+}
+
+func cleanSent(ch chan net.Conn) error {
+	conn, err := net.Dial("tcp", "peer:1")
+	if err != nil {
+		return err
+	}
+	ch <- conn
+	return nil
+}
+
+func cleanGoroutine() error {
+	conn, err := net.Dial("tcp", "peer:1")
+	if err != nil {
+		return err
+	}
+	go consume(conn)
+	return nil
+}
+
+// The continue path abandons the conn without closing it, and the loop
+// can then exit the function.
+func leakInLoop(addrs []string) {
+	for _, a := range addrs {
+		conn, err := net.Dial("tcp", a) // want `resleak: conn acquired here does not reach Close`
+		if err != nil {
+			continue
+		}
+		if isBad(conn) {
+			continue
+		}
+		conn.Close()
+	}
+}
+
+func cleanLoopHandoff(ln net.Listener) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go consume(c)
+	}
+}
+
+// Using the conn is not releasing it: only Close counts.
+func leakAfterUse(buf []byte) error {
+	conn, err := net.Dial("tcp", "peer:1") // want `resleak: conn acquired here does not reach Close`
+	if err != nil {
+		return err
+	}
+	_, err = conn.Read(buf)
+	return err
+}
+
+// --- files ---
+
+func leakFile(name string, c bool) error {
+	f, err := os.Open(name) // want `resleak: f acquired here does not reach Close`
+	if err != nil {
+		return err
+	}
+	if c {
+		return nil
+	}
+	return f.Close()
+}
+
+func cleanFileDefer(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// --- suppression ---
+
+func allowedLeak(d time.Duration, c bool) {
+	//aggvet:allow resleak -- fires at most once per process
+	t := time.NewTimer(d)
+	if c {
+		return
+	}
+	t.Stop()
+}

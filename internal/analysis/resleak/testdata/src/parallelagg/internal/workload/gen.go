@@ -1,0 +1,13 @@
+// Package workload is outside resleak's scope: the same leak patterns
+// that are flagged in internal/dist must produce no diagnostics here.
+package workload
+
+import "time"
+
+func leakEarlyReturn(d time.Duration, c bool) {
+	t := time.NewTimer(d)
+	if c {
+		return
+	}
+	t.Stop()
+}

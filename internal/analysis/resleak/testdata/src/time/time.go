@@ -1,0 +1,19 @@
+// Package time is a stub of the standard library's time package, just
+// rich enough to type-check the resleak fixtures hermetically.
+package time
+
+type Duration int64
+
+type Time struct{ ns int64 }
+
+type Timer struct{ C <-chan Time }
+
+func (t *Timer) Stop() bool  { return true }
+func (t *Timer) Reset(d Duration) bool { return true }
+
+type Ticker struct{ C <-chan Time }
+
+func (t *Ticker) Stop() {}
+
+func NewTimer(d Duration) *Timer   { return &Timer{} }
+func NewTicker(d Duration) *Ticker { return &Ticker{} }

@@ -110,7 +110,11 @@ func UnitMain(analyzers ...*Analyzer) {
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
 		flag.Usage()
 	}
-	os.Exit(runUnit(args[0], selected))
+	code, err := runUnit(args[0], selected, os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Exit(code)
 }
 
 func anySelected(enabled map[string]*bool) bool {
@@ -165,11 +169,13 @@ func printFlagsJSON() {
 }
 
 // runUnit analyzes the single compilation unit described by cfgFile and
-// returns the process exit code.
-func runUnit(cfgFile string, analyzers []*Analyzer) int {
+// returns the process exit code. Every failure mode — unreadable or
+// corrupt config, missing export data, a panicking analyzer — comes back
+// as an error naming the culprit; the caller decides how to die.
+func runUnit(cfgFile string, analyzers []*Analyzer, stderr io.Writer) (int, error) {
 	cfg, err := readUnitConfig(cfgFile)
 	if err != nil {
-		log.Fatal(err)
+		return 0, err
 	}
 
 	// Dependency units are analyzed only for facts (VetxOnly). aggvet
@@ -177,8 +183,7 @@ func runUnit(cfgFile string, analyzers []*Analyzer) int {
 	// empty facts file and move on. This also skips re-typechecking the
 	// standard library on every run.
 	if cfg.VetxOnly {
-		writeVetx(cfg)
-		return 0
+		return 0, writeVetx(cfg)
 	}
 
 	fset := token.NewFileSet()
@@ -187,9 +192,9 @@ func runUnit(cfgFile string, analyzers []*Analyzer) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0 // the compiler will report it better
+				return 0, nil // the compiler will report it better
 			}
-			log.Fatal(err)
+			return 0, err
 		}
 		files = append(files, f)
 	}
@@ -211,23 +216,25 @@ func runUnit(cfgFile string, analyzers []*Analyzer) int {
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return 0, nil
 		}
-		log.Fatal(err)
+		return 0, err
 	}
 
 	diags, err := Run(fset, files, pkg, info, analyzers)
 	if err != nil {
-		log.Fatal(err)
+		return 0, err
 	}
-	writeVetx(cfg)
+	if err := writeVetx(cfg); err != nil {
+		return 0, err
+	}
 	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		fmt.Fprintf(stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
 	}
 	if len(diags) > 0 {
-		return 1
+		return 1, nil
 	}
-	return 0
+	return 0, nil
 }
 
 func readUnitConfig(cfgFile string) (*unitConfig, error) {
@@ -248,13 +255,14 @@ func readUnitConfig(cfgFile string) (*unitConfig, error) {
 // writeVetx records the (always empty) facts output. The go command
 // caches this file as the unit's analysis result; failing to write it
 // would force every vet run to start over.
-func writeVetx(cfg *unitConfig) {
+func writeVetx(cfg *unitConfig) error {
 	if cfg.VetxOutput == "" {
-		return
+		return nil
 	}
 	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-		log.Fatalf("writing facts output: %v", err)
+		return fmt.Errorf("writing facts output: %v", err)
 	}
+	return nil
 }
 
 // newUnitImporter resolves imports the way the go command instructs:

@@ -1,0 +1,148 @@
+package analysis
+
+// Error-path tests for the vettool driver: a corrupt vet.cfg, missing
+// export data, and a panicking analyzer must all come back as clean,
+// named errors — never a bare exit or an anonymous stack trace — so a
+// broken `make lint` run points straight at the culprit.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCfg marshals a unitConfig (or writes raw bytes) into a temp
+// vet.cfg and returns its path.
+func writeCfg(t *testing.T, cfg *unitConfig, raw []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "vet.cfg")
+	data := raw
+	if cfg != nil {
+		var err error
+		data, err = json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeSrc(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunUnitMissingConfig(t *testing.T) {
+	_, err := runUnit(filepath.Join(t.TempDir(), "absent.cfg"), nil, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("runUnit accepted a nonexistent config file")
+	}
+}
+
+func TestRunUnitCorruptConfig(t *testing.T) {
+	cfgFile := writeCfg(t, nil, []byte("{not json"))
+	_, err := runUnit(cfgFile, nil, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "cannot decode vet config") {
+		t.Fatalf("corrupt vet.cfg error = %v, want 'cannot decode vet config'", err)
+	}
+}
+
+func TestRunUnitEmptyPackage(t *testing.T) {
+	cfgFile := writeCfg(t, &unitConfig{ImportPath: "p"}, nil)
+	_, err := runUnit(cfgFile, nil, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "has no files") {
+		t.Fatalf("empty-package error = %v, want 'has no files'", err)
+	}
+}
+
+func TestRunUnitMissingExportData(t *testing.T) {
+	// The unit imports fmt but the config maps no export data for it:
+	// the failure must name the import it could not resolve.
+	src := writeSrc(t, "p.go", "package p\n\nimport \"fmt\"\n\nfunc F() { fmt.Println() }\n")
+	cfgFile := writeCfg(t, &unitConfig{
+		ImportPath: "p",
+		GoFiles:    []string{src},
+	}, nil)
+	_, err := runUnit(cfgFile, nil, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "no export data for \"fmt\"") {
+		t.Fatalf("missing-export-data error = %v, want 'no export data for \"fmt\"'", err)
+	}
+}
+
+func TestRunUnitPanickingAnalyzer(t *testing.T) {
+	src := writeSrc(t, "p.go", "package p\n\nfunc F() {}\n")
+	cfgFile := writeCfg(t, &unitConfig{
+		ImportPath: "p",
+		GoFiles:    []string{src},
+	}, nil)
+	boom := &Analyzer{
+		Name: "boom",
+		Doc:  "panics",
+		Run:  func(*Pass) error { panic("kaboom") },
+	}
+	_, err := runUnit(cfgFile, []*Analyzer{boom}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "analyzer boom panicked: kaboom") {
+		t.Fatalf("panicking-analyzer error = %v, want 'analyzer boom panicked: kaboom'", err)
+	}
+}
+
+func TestRunUnitVetxOnlyWritesFacts(t *testing.T) {
+	vetx := filepath.Join(t.TempDir(), "p.vetx")
+	cfgFile := writeCfg(t, &unitConfig{
+		ImportPath: "p",
+		GoFiles:    []string{"irrelevant.go"}, // VetxOnly units are never parsed
+		VetxOnly:   true,
+		VetxOutput: vetx,
+	}, nil)
+	code, err := runUnit(cfgFile, nil, &bytes.Buffer{})
+	if err != nil || code != 0 {
+		t.Fatalf("VetxOnly unit: code=%d err=%v", code, err)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts output not written: %v", err)
+	}
+}
+
+func TestRunUnitReportsDiagnostics(t *testing.T) {
+	src := writeSrc(t, "p.go", "package p\n\nfunc F() {}\n")
+	vetx := filepath.Join(t.TempDir(), "p.vetx")
+	cfgFile := writeCfg(t, &unitConfig{
+		ImportPath: "p",
+		GoFiles:    []string{src},
+		VetxOutput: vetx,
+	}, nil)
+	noisy := &Analyzer{
+		Name: "noisy",
+		Doc:  "flags every file",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				pass.Reportf(f.Package, "finding")
+			}
+			return nil
+		},
+	}
+	var stderr bytes.Buffer
+	code, err := runUnit(cfgFile, []*Analyzer{noisy}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d with findings, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "noisy: finding") {
+		t.Fatalf("diagnostic missing from stderr:\n%s", stderr.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts output not written on the findings path: %v", err)
+	}
+}

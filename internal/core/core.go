@@ -25,6 +25,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"parallelagg/internal/cluster"
 	"parallelagg/internal/des"
@@ -222,12 +223,19 @@ func verify(rel *workload.Relation, got map[tuple.Key]tuple.AggState) error {
 	if len(got) != len(want) {
 		return fmt.Errorf("group count = %d, want %d", len(got), len(want))
 	}
-	for k, ws := range want {
+	// Check groups in key order so a multi-group mismatch reports the
+	// same key on every run.
+	keys := make([]tuple.Key, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
 		gs, ok := got[k]
 		if !ok {
 			return fmt.Errorf("group %d missing", k)
 		}
-		if gs != ws {
+		if ws := want[k]; gs != ws {
 			return fmt.Errorf("group %d state = %v, want %v", k, gs, ws)
 		}
 	}

@@ -533,3 +533,35 @@ func TestARepEndOfPhaseAfterScanFinished(t *testing.T) {
 		t.Error("the skewed node should still have fallen back")
 	}
 }
+
+func TestVerifyReportsSmallestBadGroup(t *testing.T) {
+	// verify walks the reference in sorted key order, so a result with
+	// several wrong groups names the same (smallest) one on every run —
+	// map iteration order must not leak into the error message.
+	rel := workload.Uniform(2, 400, 50, 9)
+	want := rel.Reference()
+	bad := make(map[tuple.Key]tuple.AggState, len(want))
+	for k, s := range want {
+		s.Count++ // corrupt every group
+		bad[k] = s
+	}
+	first := verify(rel, bad)
+	if first == nil {
+		t.Fatal("verify accepted a corrupted result")
+	}
+	for i := 0; i < 20; i++ {
+		if err := verify(rel, bad); err == nil || err.Error() != first.Error() {
+			t.Fatalf("verify error varies across runs: %q vs %q", first, err)
+		}
+	}
+	var minKey tuple.Key
+	found := false
+	for k := range want {
+		if !found || k < minKey {
+			found, minKey = true, k
+		}
+	}
+	if wantMsg := fmt.Sprintf("group %d state", minKey); !strings.Contains(first.Error(), wantMsg) {
+		t.Fatalf("verify error %q does not name the smallest corrupted group (%d)", first, minKey)
+	}
+}

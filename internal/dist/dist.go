@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -266,7 +267,7 @@ func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, erro
 				send(incoming{err: nodeErr(cfg.ID, -1, PhaseAccept, err)})
 				return
 			}
-			if !tracker.add(conn) {
+			if ok := tracker.add(conn); !ok {
 				return
 			}
 			connected.Add(1)
@@ -421,11 +422,17 @@ func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, erro
 	if scanErr != nil {
 		return nil, scanErr
 	}
-	// Sanity: every merged group must hash to this node.
+	// Sanity: every merged group must hash to this node. Track the
+	// smallest offending key so the error is the same on every run.
+	misrouted := false
+	var badKey tuple.Key
 	for k := range merged {
-		if k.Dest(n) != cfg.ID {
-			return nil, fmt.Errorf("dist: node %d received group %d owned by node %d", cfg.ID, k, k.Dest(n))
+		if k.Dest(n) != cfg.ID && (!misrouted || k < badKey) {
+			misrouted, badKey = true, k
 		}
+	}
+	if misrouted {
+		return nil, fmt.Errorf("dist: node %d received group %d owned by node %d", cfg.ID, badKey, badKey.Dest(n))
 	}
 	res.Groups = merged
 	res.Switched = switched
@@ -483,7 +490,7 @@ func dialPeers(cfg Config, tracker *connTracker) ([]*peer, error) {
 		if err != nil {
 			return nil, nodeErr(cfg.ID, j, PhaseDial, err)
 		}
-		if !tracker.add(conn) {
+		if ok := tracker.add(conn); !ok {
 			return nil, nodeErr(cfg.ID, j, PhaseDial, net.ErrClosed)
 		}
 		p := &peer{id: j, conn: conn, w: bufio.NewWriterSize(conn, 1<<16), timeout: cfg.IOTimeout}
@@ -538,6 +545,9 @@ func scanAndShip(cfg Config, part []tuple.Tuple, peers []*peer, fallback *atomic
 			partBuf[d] = append(partBuf[d], tuple.Partial{Key: k, State: s})
 		}
 		for d := 0; d < n; d++ {
+			// partBuf[d] was filled in map order; fix the wire order so a
+			// same-seed run ships byte-identical frames.
+			sort.Slice(partBuf[d], func(i, j int) bool { return partBuf[d][i].Key < partBuf[d][j].Key })
 			if len(partBuf[d]) > 0 {
 				if err := peers[d].writePartials(partBuf[d]); err != nil {
 					return nodeErr(cfg.ID, d, PhaseWrite, err)
@@ -686,16 +696,27 @@ func RunConfigured(parts [][]tuple.Tuple, template Config) (*ClusterResult, erro
 		}
 	}
 	out := &ClusterResult{Groups: make(map[tuple.Key]tuple.AggState)}
+	// Track the smallest duplicated key so a multi-duplicate bug reports
+	// the same group on every run.
+	dupFound := false
+	var dupKey tuple.Key
+	dupNode := -1
 	for i, r := range results {
 		if r.Switched {
 			out.Switched++
 		}
 		for k, s := range r.Groups {
 			if _, dup := out.Groups[k]; dup {
-				return nil, fmt.Errorf("dist: group %d produced by two nodes (second: %d)", k, i)
+				if !dupFound || k < dupKey {
+					dupFound, dupKey, dupNode = true, k, i
+				}
+				continue
 			}
 			out.Groups[k] = s
 		}
+	}
+	if dupFound {
+		return nil, fmt.Errorf("dist: group %d produced by two nodes (second: %d)", dupKey, dupNode)
 	}
 	return out, nil
 }

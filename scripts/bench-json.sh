@@ -1,0 +1,49 @@
+#!/bin/sh
+# bench-json.sh — run the algorithm × selectivity benchmark sweep and
+# distill it into ${OUT:-BENCH_pr3.json}: one record per configuration
+# with ns/op (wall clock) and sim-s (simulated seconds, the quantity the
+# paper plots). The benchmark names carry the axes:
+#
+#     BenchmarkAlgorithmsSelectivity/alg=A2P/sel=0.05-8   ... ns/op ... sim-s
+set -u
+
+GO="${GO:-go}"
+OUT="${OUT:-BENCH_pr3.json}"
+BENCHTIME="${BENCHTIME:-1x}"
+
+raw=$("$GO" test -run '^$' -bench '^BenchmarkAlgorithmsSelectivity$' -benchtime "$BENCHTIME" .) || {
+    printf '%s\n' "$raw" >&2
+    echo "bench-json: benchmark run failed" >&2
+    exit 1
+}
+
+printf '%s\n' "$raw" | awk -v out="$OUT" '
+/^BenchmarkAlgorithmsSelectivity\// {
+    # $1 = name, $2 = iterations, then value/unit pairs.
+    name = $1
+    sub(/^BenchmarkAlgorithmsSelectivity\//, "", name)
+    sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix
+    split(name, parts, "/")
+    alg = parts[1]; sub(/^alg=/, "", alg)
+    sel = parts[2]; sub(/^sel=/, "", sel)
+    ns = ""; sims = ""
+    for (i = 3; i < NF; i += 2) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "sim-s") sims = $i
+    }
+    if (ns == "") next
+    rec = sprintf("  {\"algorithm\": \"%s\", \"selectivity\": %s, \"ns_per_op\": %s", alg, sel, ns)
+    if (sims != "") rec = rec sprintf(", \"sim_seconds\": %s", sims)
+    rec = rec "}"
+    recs[++n] = rec
+}
+END {
+    if (n == 0) {
+        print "bench-json: no benchmark lines parsed" > "/dev/stderr"
+        exit 1
+    }
+    print "[" > out
+    for (i = 1; i <= n; i++) print recs[i] (i < n ? "," : "") >> out
+    print "]" >> out
+    printf "bench-json: wrote %d records to %s\n", n, out
+}'

@@ -1,0 +1,60 @@
+#!/bin/sh
+# lint.sh — run the aggvet multichecker over the whole module and print
+# a per-analyzer diagnostic summary.
+#
+# The ./... pattern covers every package in the module, including the
+# top-level sqlagg/ and live/ trees; the script fails fast if either
+# ever drops out of the pattern (a moved directory or a new go.mod would
+# silently shrink lint coverage otherwise). Exit status is non-zero when
+# any analyzer reports an unsuppressed diagnostic, with the summary
+# listing the count per analyzer.
+set -u
+
+GO="${GO:-go}"
+AGGVET="${AGGVET:-bin/aggvet}"
+ANALYZERS="simclock seededrand netdeadline donesend maporder floatdet resleak"
+
+if ! "$GO" build -o "$AGGVET" ./cmd/aggvet; then
+    echo "lint: building aggvet failed" >&2
+    exit 1
+fi
+
+# Coverage guard: the vet run below must include the SQL front-end and
+# the live-cluster layer.
+pkgs=$("$GO" list ./...) || exit 1
+for must in parallelagg/sqlagg parallelagg/live; do
+    case "$pkgs" in
+    *"$must"*) ;;
+    *)
+        echo "lint: package $must is not covered by ./... — lint coverage shrank" >&2
+        exit 1
+        ;;
+    esac
+done
+
+out=$("$GO" vet -vettool="$(pwd)/$AGGVET" ./... 2>&1)
+vet_status=$?
+
+if [ -n "$out" ]; then
+    printf '%s\n' "$out"
+fi
+
+total=0
+summary=""
+for a in $ANALYZERS; do
+    count=$(printf '%s\n' "$out" | grep -c ": $a: ")
+    total=$((total + count))
+    summary="$summary $a=$count"
+done
+
+if [ "$vet_status" -ne 0 ] && [ "$total" -eq 0 ]; then
+    # vet failed without printing diagnostics: driver error, not findings.
+    echo "lint: go vet failed (exit $vet_status) with no diagnostics — driver error above" >&2
+    exit "$vet_status"
+fi
+
+echo "lint: diagnostics per analyzer:$summary total=$total"
+if [ "$total" -ne 0 ]; then
+    exit 1
+fi
+echo "lint: clean"
