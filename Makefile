@@ -1,7 +1,7 @@
 GO ?= go
 AGGVET := bin/aggvet
 
-.PHONY: build test vet lint lint-fixtures race chaos check bench bench-json
+.PHONY: build test vet lint lint-fixtures race chaos check bench bench-json fuzz cover
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,17 @@ race:
 # The distributed layer's fault-injection scenarios, race-checked.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/dist/... ./internal/faultnet/...
+
+# Short fuzz sweep over the wire decoder and the fault-spec parser —
+# the same smoke CI runs; use `go test -fuzz=... -fuzztime=10m` for a
+# real session.
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeFrame' -fuzztime 15s ./internal/dist/
+	$(GO) test -run '^$$' -fuzz 'FuzzParseSpec' -fuzztime 15s ./internal/faultnet/
+
+# Statement-coverage ratchet against scripts/coverage-floor.txt.
+cover:
+	GO="$(GO)" sh scripts/coverage.sh
 
 # What CI runs (CI additionally shuffles test order and runs
 # staticcheck/govulncheck, which need network access to install).

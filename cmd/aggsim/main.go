@@ -54,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		showTrace = fs.Bool("trace", false, "print the execution timeline")
 		analyze   = fs.Bool("analyze", false, "print the workload shape analysis")
 		dump      = fs.Bool("dump", false, "print every group's aggregate state, sorted by key")
+		metrics   = fs.Bool("metrics", false, "print the run's metrics registry in Prometheus text format (byte-identical across same-seed runs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -111,7 +112,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 	}
 
-	res, err := parallelagg.Aggregate(prm, rel, alg, parallelagg.Options{Seed: *seed, Trace: *showTrace})
+	var reg *parallelagg.MetricsRegistry
+	if *metrics {
+		reg = parallelagg.NewMetricsRegistry()
+	}
+	res, err := parallelagg.Aggregate(prm, rel, alg, parallelagg.Options{Seed: *seed, Trace: *showTrace, Obs: reg})
 	if err != nil {
 		fmt.Fprintf(stderr, "aggsim: %v\n", err)
 		return 1
@@ -165,6 +170,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *showTrace {
 		fmt.Fprintln(stdout, "\nexecution timeline:")
 		if err := res.Trace.Render(stdout); err != nil {
+			fmt.Fprintf(stderr, "aggsim: %v\n", err)
+			return 1
+		}
+	}
+	if *metrics {
+		fmt.Fprintln(stdout, "\nmetrics:")
+		if _, err := stdout.Write(reg.Snapshot()); err != nil {
 			fmt.Fprintf(stderr, "aggsim: %v\n", err)
 			return 1
 		}

@@ -10,12 +10,19 @@
 //	distnode -id 1 -addrs 127.0.0.1:7101,127.0.0.1:7102
 //
 // Across machines, use real host addresses and start one process per host.
+//
+// With -metrics-addr, the node serves its metrics registry over HTTP
+// while the query runs: Prometheus text on /metrics, JSON on
+// /metrics.json, and the pprof handlers under /debug/pprof/. Use
+// -metrics-linger to keep the endpoint up after the query completes so
+// a final scrape can collect the end-of-run counters.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"sort"
@@ -25,44 +32,64 @@ import (
 	"parallelagg"
 	"parallelagg/internal/dist"
 	"parallelagg/internal/faultnet"
+	"parallelagg/internal/obs"
+	"parallelagg/internal/trace"
 )
 
 var algByName = map[string]dist.Algorithm{
-	"2p":  dist.TwoPhase,
-	"rep": dist.Repartitioning,
-	"a2p": dist.AdaptiveTwoPhase,
+	"2p":   dist.TwoPhase,
+	"rep":  dist.Repartitioning,
+	"a2p":  dist.AdaptiveTwoPhase,
+	"arep": dist.AdaptiveRepartitioning,
 }
 
-func main() {
-	var (
-		id      = flag.Int("id", 0, "this node's index in -addrs")
-		addrs   = flag.String("addrs", "", "comma-separated listen addresses, one per node")
-		algName = flag.String("alg", "a2p", "algorithm: 2p, rep, a2p")
-		tuples  = flag.Int64("tuples", 1_000_000, "total relation cardinality (shared)")
-		groups  = flag.Int64("groups", 10_000, "distinct groups (shared)")
-		seed    = flag.Int64("seed", 1, "generator seed (shared)")
-		mem     = flag.Int("mem", 10_000, "local hash table bound (0 = unbounded)")
-		show    = flag.Int("show", 3, "result groups to print")
+// metricsReady, when non-nil, is called with the metrics listener's
+// bound address once the endpoint is serving. Tests hook it to learn
+// the port behind -metrics-addr 127.0.0.1:0.
+var metricsReady func(addr string)
 
-		dialTimeout = flag.Duration("dial-timeout", 5*time.Second, "cluster formation budget (dial retries with backoff + accepts)")
-		ioTimeout   = flag.Duration("io-timeout", 30*time.Second, "per-frame read/write deadline; a peer silent longer is failed")
-		chaos       = flag.String("chaos", "", "fault-injection spec, e.g. latency=2ms,jitter=1ms,reset=0.01,hang=0.01,acceptfail=0.1,seed=42")
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("distnode", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		id      = fs.Int("id", 0, "this node's index in -addrs")
+		addrs   = fs.String("addrs", "", "comma-separated listen addresses, one per node")
+		algName = fs.String("alg", "a2p", "algorithm: 2p, rep, a2p, arep")
+		tuples  = fs.Int64("tuples", 1_000_000, "total relation cardinality (shared)")
+		groups  = fs.Int64("groups", 10_000, "distinct groups (shared)")
+		seed    = fs.Int64("seed", 1, "generator seed (shared)")
+		mem     = fs.Int("mem", 10_000, "local hash table bound (0 = unbounded)")
+		show    = fs.Int("show", 3, "result groups to print")
+
+		dialTimeout = fs.Duration("dial-timeout", 5*time.Second, "cluster formation budget (dial retries with backoff + accepts)")
+		ioTimeout   = fs.Duration("io-timeout", 30*time.Second, "per-frame read/write deadline; a peer silent longer is failed")
+		chaos       = fs.String("chaos", "", "fault-injection spec, e.g. latency=2ms,jitter=1ms,reset=0.01,hang=0.01,acceptfail=0.1,seed=42")
+
+		metricsAddr   = fs.String("metrics-addr", "", "serve Prometheus text (/metrics), JSON (/metrics.json) and pprof on this address; empty disables")
+		metricsLinger = fs.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the query completes")
+		showTrace     = fs.Bool("trace", false, "print the node's dial/scan/merge span timeline")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	list := strings.Split(*addrs, ",")
 	if *addrs == "" || len(list) == 0 {
-		fmt.Fprintln(os.Stderr, "distnode: -addrs is required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "distnode: -addrs is required")
+		return 2
 	}
 	alg, ok := algByName[strings.ToLower(*algName)]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "distnode: unknown algorithm %q\n", *algName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "distnode: unknown algorithm %q\n", *algName)
+		return 2
 	}
 	if *id < 0 || *id >= len(list) {
-		fmt.Fprintf(os.Stderr, "distnode: -id %d out of range for %d addresses\n", *id, len(list))
-		os.Exit(2)
+		fmt.Fprintf(stderr, "distnode: -id %d out of range for %d addresses\n", *id, len(list))
+		return 2
 	}
 
 	cfg := dist.Config{
@@ -76,13 +103,35 @@ func main() {
 	if *chaos != "" {
 		fc, err := faultnet.ParseSpec(*chaos)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "distnode: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "distnode: %v\n", err)
+			return 2
 		}
 		inj := faultnet.New(fc)
 		cfg.Dial = inj.Dialer(nil)
 		cfg.WrapListener = inj.Listener
-		fmt.Printf("node %d chaos: %s\n", *id, *chaos)
+		fmt.Fprintf(stdout, "node %d chaos: %s\n", *id, *chaos)
+	}
+
+	start := time.Now()
+	var tracer *trace.Tracer
+	if *showTrace || *metricsAddr != "" {
+		tracer = trace.NewTracer(func() int64 { return time.Since(start).Nanoseconds() })
+		cfg.Tracer = tracer
+	}
+	if *metricsAddr != "" {
+		reg := obs.New()
+		cfg.Obs = reg
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "distnode: metrics listener: %v\n", err)
+			return 1
+		}
+		srv := obs.Serve(mln, reg)
+		defer srv.Close()
+		fmt.Fprintf(stdout, "node %d metrics on http://%s/metrics\n", *id, mln.Addr())
+		if metricsReady != nil {
+			metricsReady(mln.Addr().String())
+		}
 	}
 
 	// Every node generates the same relation and takes its partition.
@@ -90,28 +139,27 @@ func main() {
 
 	ln, err := net.Listen("tcp", list[*id])
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "distnode: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "distnode: %v\n", err)
+		return 1
 	}
-	fmt.Printf("node %d listening on %s, %d tuples, algorithm %v\n",
+	fmt.Fprintf(stdout, "node %d listening on %s, %d tuples, algorithm %v\n",
 		*id, list[*id], len(rel.PerNode[*id]), alg)
 
-	start := time.Now()
 	res, err := dist.RunNode(ln, cfg, rel.PerNode[*id])
 	if err != nil {
 		var ne *dist.NodeError
 		if errors.As(err, &ne) {
-			fmt.Fprintf(os.Stderr, "distnode: peer failure in phase %q (peer %d): %v\n", ne.Phase, ne.Peer, err)
+			fmt.Fprintf(stderr, "distnode: peer failure in phase %q (peer %d): %v\n", ne.Phase, ne.Peer, err)
 		} else {
-			fmt.Fprintf(os.Stderr, "distnode: %v\n", err)
+			fmt.Fprintf(stderr, "distnode: %v\n", err)
 		}
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("node %d done in %v: owns %d groups", *id, time.Since(start).Round(time.Millisecond), len(res.Groups))
+	fmt.Fprintf(stdout, "node %d done in %v: owns %d groups", *id, time.Since(start).Round(time.Millisecond), len(res.Groups))
 	if res.Switched {
-		fmt.Printf(" (switched to repartitioning mid-query)")
+		fmt.Fprintf(stdout, " (switched to repartitioning mid-query)")
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 
 	keys := make([]parallelagg.Key, 0, len(res.Groups))
 	for k := range res.Groups {
@@ -123,6 +171,13 @@ func main() {
 			break
 		}
 		s := res.Groups[k]
-		fmt.Printf("  group %d: count=%d sum=%d min=%d max=%d\n", k, s.Count, s.Sum, s.Min, s.Max)
+		fmt.Fprintf(stdout, "  group %d: count=%d sum=%d min=%d max=%d\n", k, s.Count, s.Sum, s.Min, s.Max)
 	}
+	if *showTrace && tracer != nil {
+		tracer.Render(stdout)
+	}
+	if *metricsLinger > 0 {
+		time.Sleep(*metricsLinger)
+	}
+	return 0
 }

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freeAddrs reserves n distinct loopback ports by listening and
+// immediately closing. The tiny race window (another process grabbing
+// the port) is acceptable for a test.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// scrape fetches /metrics and parses the Prometheus text exposition
+// into series → value, failing the test on any malformed line.
+func scrape(t *testing.T, addr string) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("scrape: content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := make(map[string]int64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				t.Fatalf("malformed comment line: %q", line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		v, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			t.Fatalf("non-integer sample %q in line %q: %v", val, line, err)
+		}
+		if _, dup := series[name]; dup {
+			t.Fatalf("duplicate series %q", name)
+		}
+		series[name] = v
+	}
+	if len(series) == 0 {
+		t.Fatal("scrape returned no samples")
+	}
+	return series
+}
+
+// TestThreeNodeScrape runs a full 3-node distributed query in-process
+// with node 0 serving -metrics-addr, scrapes the endpoint twice, and
+// checks the acceptance contract: Prometheus-parseable output carrying
+// per-peer byte counters, the hash-occupancy gauge, and the
+// phase-switch counter, with every counter monotonically non-decreasing
+// across scrapes.
+func TestThreeNodeScrape(t *testing.T) {
+	addrs := freeAddrs(t, 3)
+	addrList := strings.Join(addrs, ",")
+
+	ready := make(chan string, 1)
+	metricsReady = func(addr string) { ready <- addr }
+	defer func() { metricsReady = nil }()
+
+	common := []string{
+		"-addrs", addrList,
+		"-alg", "a2p",
+		"-tuples", "30000",
+		"-groups", "6000",
+		"-seed", "7",
+		"-mem", "100", // far below 6000 groups, so the adaptive switch fires
+		"-dial-timeout", "10s",
+		"-io-timeout", "10s",
+	}
+	var wg sync.WaitGroup
+	var peersDone sync.WaitGroup
+	codes := make([]int, 3)
+	for i := 1; i < 3; i++ {
+		wg.Add(1)
+		peersDone.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer peersDone.Done()
+			args := append([]string{"-id", fmt.Sprint(i)}, common...)
+			codes[i] = run(args, io.Discard, io.Discard)
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		args := append([]string{
+			"-id", "0",
+			"-metrics-addr", "127.0.0.1:0",
+			"-metrics-linger", "2s",
+		}, common...)
+		codes[0] = run(args, io.Discard, io.Discard)
+	}()
+
+	var metricsAddr string
+	select {
+	case metricsAddr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("metrics endpoint never came up")
+	}
+
+	first := scrape(t, metricsAddr)
+
+	// Wait until the other nodes' queries complete; the distributed
+	// barrier means node 0's query is finished too, and its linger
+	// keeps the endpoint alive for the second scrape.
+	peersDone.Wait()
+	second := scrape(t, metricsAddr)
+
+	for name, v1 := range first {
+		if !strings.Contains(name, "_total") {
+			continue // gauges may move either way
+		}
+		v2, ok := second[name]
+		if !ok {
+			t.Errorf("counter %s vanished between scrapes", name)
+			continue
+		}
+		if v2 < v1 {
+			t.Errorf("counter %s went backwards: %d -> %d", name, v1, v2)
+		}
+	}
+
+	wantSubstr := []string{
+		`dist_bytes_sent_total{node="0",peer="1"}`,
+		`dist_bytes_sent_total{node="0",peer="2"}`,
+		`dist_bytes_recv_total{node="0",peer="1"}`,
+		`dist_frames_sent_total{node="0",peer="1",kind="partial"}`,
+		`dist_hash_occupancy_permille{node="0"}`,
+		`dist_phase_switch_total{node="0",to="repart"}`,
+	}
+	for _, want := range wantSubstr {
+		if _, ok := second[want]; !ok {
+			t.Errorf("final scrape is missing series %s", want)
+		}
+	}
+	for _, name := range []string{
+		`dist_bytes_sent_total{node="0",peer="1"}`,
+		`dist_bytes_recv_total{node="0",peer="1"}`,
+	} {
+		if v := second[name]; v <= 0 {
+			t.Errorf("%s = %d, want > 0", name, v)
+		}
+	}
+
+	wg.Wait()
+	for i, c := range codes {
+		if c != 0 {
+			t.Errorf("node %d exited with code %d", i, c)
+		}
+	}
+}
+
+// TestBadFlagsExitNonzero covers the argument-validation paths without
+// opening any sockets.
+func TestBadFlagsExitNonzero(t *testing.T) {
+	cases := [][]string{
+		{},                          // missing -addrs
+		{"-addrs", "x", "-alg", "nope"},
+		{"-addrs", "a,b", "-id", "5"},
+		{"-addrs", "a,b", "-chaos", "latency=oops"},
+	}
+	for _, args := range cases {
+		if code := run(args, io.Discard, io.Discard); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

@@ -6,16 +6,24 @@
 // Usage:
 //
 //	livebench [-tuples 4000000] [-groups 100000] [-workers 0]
-//	          [-mem 0] [-spill-dir ""] [-runs 3]
+//	          [-mem 0] [-spill-dir ""] [-runs 3] [-metrics-addr ""]
+//
+// With -metrics-addr, the process serves its metrics registry over HTTP
+// for the whole benchmark (Prometheus text on /metrics, JSON on
+// /metrics.json, pprof under /debug/pprof/); every timed run adds to
+// the same registry, and -metrics-linger keeps the endpoint up after
+// the table prints so the final counters can be scraped.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"time"
 
+	"parallelagg"
 	"parallelagg/live"
 )
 
@@ -27,8 +35,24 @@ func main() {
 		mem     = flag.Int("mem", 0, "per-worker hash table bound (0 = unbounded)")
 		spill   = flag.String("spill-dir", "", "spool 2P overflow to real files in this directory")
 		runs    = flag.Int("runs", 3, "timed repetitions (best is reported)")
+
+		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus text (/metrics), JSON (/metrics.json) and pprof on this address; empty disables")
+		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the benchmark completes")
 	)
 	flag.Parse()
+
+	var reg *parallelagg.MetricsRegistry
+	if *metricsAddr != "" {
+		reg = parallelagg.NewMetricsRegistry()
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "livebench: metrics listener:", err)
+			os.Exit(1)
+		}
+		srv := parallelagg.ServeMetrics(mln, reg)
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n\n", mln.Addr())
+	}
 
 	in := make([]live.Tuple, *tuples)
 	for i := range in {
@@ -85,6 +109,7 @@ func main() {
 				TableEntries: *mem,
 				SpillToDisk:  *spill != "",
 				SpillDir:     *spill,
+				Obs:          reg,
 			}
 			el, err := best(func() error {
 				res, err := live.Aggregate(cfg, in, alg)
@@ -103,5 +128,8 @@ func main() {
 			fmt.Printf("  %-8v x%-6.2f", el.Round(time.Millisecond), seq.Seconds()/el.Seconds())
 		}
 		fmt.Println()
+	}
+	if *metricsLinger > 0 {
+		time.Sleep(*metricsLinger)
 	}
 }

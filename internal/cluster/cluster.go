@@ -12,6 +12,7 @@ import (
 	"parallelagg/internal/des"
 	"parallelagg/internal/disk"
 	"parallelagg/internal/network"
+	"parallelagg/internal/obs"
 	"parallelagg/internal/params"
 	"parallelagg/internal/trace"
 	"parallelagg/internal/tuple"
@@ -74,6 +75,13 @@ type Cluster struct {
 
 	// Trace, when non-nil, records a timeline of the execution.
 	Trace *trace.Log
+
+	// Obs, when non-nil, receives the execution's metrics: phase
+	// switches and hash occupancy as they happen, resource utilisation
+	// and tuple-flow counters via PublishObs after the run. All values
+	// are derived from virtual time and simulation state, never the
+	// wall clock, so snapshots are same-seed deterministic.
+	Obs *obs.Registry
 }
 
 // CoordID returns the inbox index of the coordinator endpoint.

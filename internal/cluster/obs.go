@@ -1,0 +1,74 @@
+package cluster
+
+import "strconv"
+
+// PublishObs exports the cluster's end-of-run state into the attached
+// metrics registry: per-node virtual-time resource utilisation (CPU and
+// disk busy time from the DES resources), per-node tuple-flow counters,
+// and interconnect totals, all stamped with the final virtual clock.
+// Call it after Sim.Run and Node.Snapshot. No-op when Obs is nil.
+//
+// Everything published here is a deterministic function of the
+// simulation inputs, so a same-seed run yields a byte-identical
+// Registry.Snapshot() — the determinism contract of DESIGN.md §9.
+func (c *Cluster) PublishObs() {
+	r := c.Obs
+	if r == nil {
+		return
+	}
+	now := c.Sim.Now()
+	r.Gauge("sim_virtual_time_ns", "virtual clock at the end of the run").Set(int64(now))
+
+	busy := r.GaugeVec("sim_node_busy_ns", "virtual time a node resource was held", "node", "resource")
+	util := r.GaugeVec("sim_node_utilization_permille", "resource busy time per 1000 ns of virtual elapsed time", "node", "resource")
+	waiters := r.GaugeVec("sim_node_max_waiters", "high-water mark of the resource wait queue", "node", "resource")
+	scanned := r.CounterVec("sim_node_scanned_total", "tuples read from the local partition", "node")
+	sentRaw := r.CounterVec("sim_node_sent_raw_total", "raw tuples shipped over the interconnect", "node")
+	sentPart := r.CounterVec("sim_node_sent_partials_total", "partial aggregates shipped", "node")
+	recvRaw := r.CounterVec("sim_node_recv_raw_total", "raw tuples received", "node")
+	recvPart := r.CounterVec("sim_node_recv_partials_total", "partial aggregates received", "node")
+	spilled := r.CounterVec("sim_node_spilled_total", "records spilled to overflow files", "node")
+	groups := r.CounterVec("sim_node_groups_total", "result groups produced", "node")
+	seqRd := r.CounterVec("sim_node_disk_seq_reads_total", "sequential page reads", "node")
+	randRd := r.CounterVec("sim_node_disk_rand_reads_total", "random page reads", "node")
+	pgWr := r.CounterVec("sim_node_disk_page_writes_total", "page writes (spill + result store)", "node")
+
+	permille := func(busy int64) int64 {
+		if now <= 0 {
+			return 0
+		}
+		return 1000 * busy / int64(now)
+	}
+	publish := func(n *Node) {
+		id := strconv.Itoa(n.ID)
+		m := &n.Metrics
+		busy.With(id, "cpu").Set(int64(m.CPUBusy))
+		busy.With(id, "disk").Set(int64(m.DiskBusy))
+		util.With(id, "cpu").Set(permille(int64(m.CPUBusy)))
+		util.With(id, "disk").Set(permille(int64(m.DiskBusy)))
+		waiters.With(id, "cpu").Set(int64(n.CPU.MaxWaiters))
+		scanned.With(id).Add(m.Scanned)
+		sentRaw.With(id).Add(m.SentRaw)
+		sentPart.With(id).Add(m.SentPartials)
+		recvRaw.With(id).Add(m.RecvRaw)
+		recvPart.With(id).Add(m.RecvPartials)
+		spilled.With(id).Add(m.Spilled)
+		groups.With(id).Add(m.GroupsOut)
+		seqRd.With(id).Add(m.Disk.SeqReads)
+		randRd.With(id).Add(m.Disk.RandReads)
+		pgWr.With(id).Add(m.Disk.PageWrites)
+	}
+	for _, n := range c.Nodes {
+		n.Snapshot() // idempotent; callers may already have snapshotted
+		publish(n)
+	}
+	c.Coord.Snapshot()
+	publish(c.Coord)
+
+	nm := c.Net.Metrics
+	r.Counter("sim_net_messages_total", "interconnect messages delivered").Add(nm.Messages)
+	r.Counter("sim_net_pages_total", "message blocks transmitted").Add(nm.Pages)
+	r.Counter("sim_net_bytes_total", "payload bytes transmitted").Add(nm.Bytes)
+	r.Gauge("sim_net_bus_busy_ns", "shared bus transmit time (SharedBusNet only)").Set(int64(nm.BusBusy))
+	r.Gauge("sim_net_bus_utilization_permille", "bus busy time per 1000 ns of virtual elapsed time").Set(permille(int64(nm.BusBusy)))
+}

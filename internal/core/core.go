@@ -30,6 +30,7 @@ import (
 	"parallelagg/internal/cluster"
 	"parallelagg/internal/des"
 	"parallelagg/internal/network"
+	"parallelagg/internal/obs"
 	"parallelagg/internal/params"
 	"parallelagg/internal/sample"
 	"parallelagg/internal/trace"
@@ -117,6 +118,12 @@ type Options struct {
 	// Trace records a timeline of phase transitions, switches and spill
 	// passes into Result.Trace.
 	Trace bool
+
+	// Obs, when non-nil, receives the execution's metrics: per-node
+	// virtual-time resource utilisation, tuple-flow counters, adaptive
+	// phase-switch events and hash-table occupancy. Snapshot() of the
+	// registry is byte-identical across same-seed runs.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults(prm params.Params) Options {
@@ -178,6 +185,7 @@ func Run(prm params.Params, rel *workload.Relation, alg Algorithm, opt Options) 
 		c.Trace = &trace.Log{}
 		res.Trace = c.Trace
 	}
+	c.Obs = opt.Obs
 	switch alg {
 	case C2P:
 		launchC2P(c, opt)
@@ -211,6 +219,7 @@ func Run(prm params.Params, rel *workload.Relation, alg Algorithm, opt Options) 
 			res.Switched++
 		}
 	}
+	c.PublishObs()
 	if err := verify(rel, res.Groups); err != nil {
 		return nil, fmt.Errorf("core: %v produced a wrong answer: %w", alg, err)
 	}

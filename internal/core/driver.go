@@ -8,6 +8,7 @@ import (
 	"parallelagg/internal/des"
 	"parallelagg/internal/hashtab"
 	"parallelagg/internal/network"
+	"parallelagg/internal/obs"
 	"parallelagg/internal/trace"
 	"parallelagg/internal/tuple"
 )
@@ -82,6 +83,11 @@ type driverNode struct {
 	obsDone   bool
 	obsSeen   int64
 	obsGroups map[tuple.Key]struct{}
+
+	// Metrics handles, resolved once per node; nil (and therefore no-ops)
+	// when the cluster has no registry attached.
+	mSwitch  *obs.CounterVec
+	mHashOcc *obs.Gauge
 }
 
 func newDriverNode(c *cluster.Cluster, n *cluster.Node, opt Options, cfg driverConfig) *driverNode {
@@ -96,6 +102,13 @@ func newDriverNode(c *cluster.Cluster, n *cluster.Node, opt Options, cfg driverC
 		ship:     newShipper(c, n),
 		global: newAggregator(c, n, prm.TRead+prm.TAgg,
 			prm.Tuples/int64(prm.N)+1, opt.MaxBuckets),
+	}
+	if c.Obs != nil {
+		d.mSwitch = c.Obs.CounterVec("sim_phase_switch_total",
+			"adaptive strategy switches fired", "node", "to")
+		d.mHashOcc = c.Obs.GaugeVec("sim_hash_occupancy_permille",
+			"high-water fill of the local hash table per 1000 entries", "node").
+			With(strconv.Itoa(n.ID))
 	}
 	if cfg.start == modeLocal || cfg.observe {
 		d.initLocal()
@@ -157,6 +170,9 @@ func (d *driverNode) scanPage(p *des.Proc, ts []tuple.Tuple) {
 		}
 	}
 	d.n.Work(p, instr)
+	if d.localTab != nil && d.localTab.Cap() > 0 {
+		d.mHashOcc.Max(int64(1000 * d.localTab.Len() / d.localTab.Cap()))
+	}
 	d.drainInbox(p)
 }
 
@@ -212,6 +228,7 @@ func (d *driverNode) switchToLocal(p *des.Proc) {
 	if d.n.Metrics.SwitchedAt < 0 {
 		d.n.Metrics.SwitchedAt = d.n.Metrics.Scanned
 	}
+	d.mSwitch.With(strconv.Itoa(d.n.ID), "local").Inc()
 	d.c.Trace.Add(int64(p.Now()), d.n.ID, trace.Switch,
 		fmt.Sprintf("falling back to local aggregation after %d tuples", d.n.Metrics.Scanned))
 }
@@ -222,6 +239,7 @@ func (d *driverNode) switchToLocal(p *des.Proc) {
 func (d *driverNode) switchToRepart(p *des.Proc) {
 	d.mode = modeRepart
 	d.n.Metrics.SwitchedAt = d.n.Metrics.Scanned
+	d.mSwitch.With(strconv.Itoa(d.n.ID), "repart").Inc()
 	d.c.Trace.Add(int64(p.Now()), d.n.ID, trace.Switch,
 		fmt.Sprintf("local table full after %d tuples; repartitioning", d.n.Metrics.Scanned))
 	d.flushLocalPartials(p)

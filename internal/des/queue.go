@@ -16,6 +16,10 @@ type Queue struct {
 	seq     uint64
 	waiters []*Proc
 	closed  bool
+
+	// MaxLen is the high-water mark of the queue depth, for
+	// backpressure reporting.
+	MaxLen int
 }
 
 type item struct {
@@ -65,6 +69,9 @@ func (q *Queue) PutAt(ready Time, v interface{}) {
 	}
 	q.seq++
 	heap.Push(&q.items, item{ready: ready, seq: q.seq, v: v})
+	if q.items.Len() > q.MaxLen {
+		q.MaxLen = q.items.Len()
+	}
 	q.wakeOne(ready)
 }
 

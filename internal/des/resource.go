@@ -14,6 +14,23 @@ type Resource struct {
 	// BusyTime accumulates the total virtual time this resource has been
 	// held via Use, for utilisation reporting.
 	BusyTime Duration
+
+	// MaxWaiters is the high-water mark of the waiter queue — how
+	// contended the resource got at its worst moment.
+	MaxWaiters int
+}
+
+// Name returns the name given to NewResource.
+func (r *Resource) Name() string { return r.name }
+
+// Utilization returns BusyTime as a fraction of the virtual time
+// elapsed up to now (0 when no time has passed). It is the per-node
+// CPU/disk/bus utilisation the observability layer reports.
+func (r *Resource) Utilization(now Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(r.BusyTime) / float64(now)
 }
 
 // NewResource returns an idle resource. The name appears in deadlock
@@ -30,6 +47,9 @@ func (r *Resource) Acquire(p *Proc) {
 		return
 	}
 	r.waiters = append(r.waiters, p)
+	if len(r.waiters) > r.MaxWaiters {
+		r.MaxWaiters = len(r.waiters)
+	}
 	p.park("resource " + r.name)
 	// Ownership was transferred to us by Release before we were woken.
 }

@@ -1,0 +1,77 @@
+package disk
+
+import (
+	"testing"
+
+	"parallelagg/internal/des"
+	"parallelagg/internal/params"
+	"parallelagg/internal/tuple"
+)
+
+// TestPartiallyFilledLastRelationPage checks the pagination tail: a
+// partition whose tuple count is not a page multiple must place the
+// remainder on one final short page, with no tuple lost or duplicated
+// and no empty trailing page.
+func TestPartiallyFilledLastRelationPage(t *testing.T) {
+	prm := params.Implementation()
+	per := prm.TuplesPerDiskPage()
+	n := 2*per + per/3 // two full pages plus a short tail
+	tuples := make([]tuple.Tuple, n)
+	for i := range tuples {
+		tuples[i] = tuple.Tuple{Key: tuple.Key(i), Val: int64(i)}
+	}
+
+	sim := des.New()
+	rel := New(sim, 0, prm).LoadRelation(tuples)
+	if got, want := rel.Pages(), 3; got != want {
+		t.Fatalf("Pages() = %d, want %d", got, want)
+	}
+
+	sim.Spawn("reader", func(p *des.Proc) {
+		seen := 0
+		for i := 0; i < rel.Pages(); i++ {
+			pg := rel.ReadPageSeq(p, i)
+			wantLen := per
+			if i == rel.Pages()-1 {
+				wantLen = per / 3
+			}
+			if len(pg) != wantLen {
+				t.Errorf("page %d has %d tuples, want %d", i, len(pg), wantLen)
+			}
+			for _, tp := range pg {
+				if int(tp.Key) != seen {
+					t.Fatalf("page %d: tuple key %d, want %d", i, tp.Key, seen)
+				}
+				seen++
+			}
+		}
+		if seen != n {
+			t.Errorf("read %d tuples, want %d", seen, n)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroTupleRelation checks the empty-partition case (a node with no
+// data, e.g. extreme placement skew): zero pages, zero length, and a
+// scan loop over Pages() is a clean no-op.
+func TestZeroTupleRelation(t *testing.T) {
+	sim := des.New()
+	rel := New(sim, 0, params.Implementation()).LoadRelation(nil)
+	if rel.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", rel.Len())
+	}
+	if rel.Pages() != 0 {
+		t.Fatalf("Pages() = %d, want 0", rel.Pages())
+	}
+	sim.Spawn("reader", func(p *des.Proc) {
+		for i := 0; i < rel.Pages(); i++ {
+			t.Errorf("scan loop over an empty relation read page %d", i)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

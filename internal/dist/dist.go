@@ -31,6 +31,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parallelagg/internal/obs"
+	"parallelagg/internal/trace"
 	"parallelagg/internal/tuple"
 )
 
@@ -119,6 +121,15 @@ type Config struct {
 	// starts — the accept-side fault-injection hook, applied by RunNode
 	// and therefore also by the in-process Run/RunConfigured launchers.
 	WrapListener func(net.Listener) net.Listener
+
+	// Obs, when non-nil, receives wire-level metrics: frames and bytes
+	// per peer, dial retries and backoff time, deadline hits, hash-table
+	// occupancy and adaptive switches. Safe to share one registry across
+	// the nodes of a cluster — every family carries a node label.
+	Obs *obs.Registry
+
+	// Tracer, when non-nil, records dial/scan/merge spans for this node.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -212,6 +223,7 @@ func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, erro
 	if cfg.WrapListener != nil {
 		ln = cfg.WrapListener(ln)
 	}
+	m := newMetrics(cfg.Obs, cfg.ID)
 
 	// Cooperative cancellation: the first error (from any side) closes
 	// done, the listener, and every tracked connection. Closing the
@@ -284,16 +296,20 @@ func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, erro
 				arm()
 				src, err := readHello(r)
 				if err != nil {
+					m.ioError(PhaseHello, err)
 					send(incoming{err: nodeErr(cfg.ID, -1, PhaseHello, err)})
 					return
 				}
+				m.recv(src, frameHello, 0)
 				for {
 					arm()
 					f, err := readFrame(r)
 					if err != nil {
+						m.ioError(PhaseRead, err)
 						send(incoming{err: nodeErr(cfg.ID, src, PhaseRead, err)})
 						return
 					}
+					m.recv(src, f.kind, len(f.raw)+len(f.partials))
 					if !send(incoming{f: f}) {
 						return
 					}
@@ -328,7 +344,9 @@ func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, erro
 	// Dial side: one outgoing connection per node, with exponential
 	// backoff + jitter while the cluster comes up, all bounded by
 	// DialTimeout.
-	peers, err := dialPeers(cfg, tracker)
+	dialSpan := cfg.Tracer.Begin(cfg.ID, "dial")
+	peers, err := dialPeers(cfg, tracker, m)
+	dialSpan.End(fmt.Sprintf("%d peers", n))
 	if err != nil {
 		// Nobody is reading frames yet, but cancel closes done, so every
 		// accepter's pending send unblocks and the wait below terminates.
@@ -350,6 +368,8 @@ func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, erro
 	mergeDone.Add(1)
 	go func() {
 		defer mergeDone.Done()
+		mergeSpan := cfg.Tracer.Begin(cfg.ID, "merge")
+		defer func() { mergeSpan.End(fmt.Sprintf("%d groups", len(merged))) }()
 		eos := 0
 		absorb := func(pt tuple.Partial) {
 			if s, ok := merged[pt.Key]; ok {
@@ -398,7 +418,9 @@ func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, erro
 
 	// Scan side: the same per-node state machine as the live engine.
 	res := &NodeResult{}
-	switched, scanErr := scanAndShip(cfg, part, peers, &fallback, res)
+	scanSpan := cfg.Tracer.Begin(cfg.ID, "scan")
+	switched, scanErr := scanAndShip(cfg, part, peers, &fallback, res, m)
+	scanSpan.End(fmt.Sprintf("%d tuples, switched=%v", len(part), switched))
 	if scanErr == nil {
 		for _, p := range peers {
 			if err := p.writeEOS(); err != nil {
@@ -450,7 +472,7 @@ func jitterRand(cfg Config) *rand.Rand {
 // dialPeers connects to every node with exponential backoff + jitter,
 // bounded overall by cfg.DialTimeout, and performs the hello handshake.
 // Connections are registered with tracker so cancellation closes them.
-func dialPeers(cfg Config, tracker *connTracker) ([]*peer, error) {
+func dialPeers(cfg Config, tracker *connTracker, m *metrics) ([]*peer, error) {
 	n := len(cfg.Addrs)
 	dial := cfg.Dial
 	if dial == nil {
@@ -475,6 +497,7 @@ func dialPeers(cfg Config, tracker *connTracker) ([]*peer, error) {
 			if err == nil || time.Now().After(deadline) {
 				break
 			}
+			m.dialRetry(j)
 			// Full jitter on a doubling base, so a cluster of nodes
 			// restarting together doesn't hammer a recovering peer in
 			// lockstep.
@@ -482,6 +505,7 @@ func dialPeers(cfg Config, tracker *connTracker) ([]*peer, error) {
 			if until := time.Until(deadline); sleep > until {
 				sleep = until
 			}
+			m.backoff(sleep)
 			time.Sleep(sleep)
 			if backoff < 250*time.Millisecond {
 				backoff *= 2
@@ -493,7 +517,7 @@ func dialPeers(cfg Config, tracker *connTracker) ([]*peer, error) {
 		if ok := tracker.add(conn); !ok {
 			return nil, nodeErr(cfg.ID, j, PhaseDial, net.ErrClosed)
 		}
-		p := &peer{id: j, conn: conn, w: bufio.NewWriterSize(conn, 1<<16), timeout: cfg.IOTimeout}
+		p := &peer{id: j, conn: conn, w: bufio.NewWriterSize(conn, 1<<16), timeout: cfg.IOTimeout, m: m}
 		if err := p.writeHello(cfg.ID); err != nil {
 			return nil, nodeErr(cfg.ID, j, PhaseHello, err)
 		}
@@ -506,7 +530,7 @@ func dialPeers(cfg Config, tracker *connTracker) ([]*peer, error) {
 // fallback carries the Adaptive Repartitioning end-of-phase signal in both
 // directions: the merge loop sets it when another node broadcasts, and
 // this side sets it (and broadcasts) when its own observation triggers.
-func scanAndShip(cfg Config, part []tuple.Tuple, peers []*peer, fallback *atomic.Bool, res *NodeResult) (bool, error) {
+func scanAndShip(cfg Config, part []tuple.Tuple, peers []*peer, fallback *atomic.Bool, res *NodeResult, m *metrics) (bool, error) {
 	n := len(peers)
 	local := make(map[tuple.Key]tuple.AggState)
 	bound := cfg.TableEntries
@@ -568,6 +592,7 @@ func scanAndShip(cfg Config, part []tuple.Tuple, peers []*peer, fallback *atomic
 				routing = false
 				switched = true
 				observing = false
+				m.switched("local")
 			} else if observing {
 				obsSeen++
 				if len(obsGroups) <= threshold {
@@ -581,6 +606,7 @@ func scanAndShip(cfg Config, part []tuple.Tuple, peers []*peer, fallback *atomic
 					fallback.Store(true)
 					routing = false
 					switched = true
+					m.switched("local")
 					for d := 0; d < n; d++ {
 						if err := peers[d].writeEOP(); err != nil {
 							return switched, nodeErr(cfg.ID, d, PhaseWrite, err)
@@ -610,6 +636,7 @@ func scanAndShip(cfg Config, part []tuple.Tuple, peers []*peer, fallback *atomic
 				routing = true
 				switched = true
 				observing = false
+				m.switched("repart")
 				if err := shipRaw(t); err != nil {
 					return switched, err
 				}
@@ -623,6 +650,7 @@ func scanAndShip(cfg Config, part []tuple.Tuple, peers []*peer, fallback *atomic
 			}
 		}
 		local[t.Key] = tuple.NewState(t.Val)
+		m.occupancy(len(local), bound)
 	}
 	if err := flushPartials(); err != nil {
 		return switched, err

@@ -1,0 +1,157 @@
+package dist
+
+import (
+	"errors"
+	"net"
+	"strconv"
+	"time"
+
+	"parallelagg/internal/obs"
+	"parallelagg/internal/tuple"
+)
+
+// frameHello is a pseudo frame kind used only for metric labels: the
+// 4-byte hello handshake is not a framed message but its bytes still
+// count toward per-peer traffic.
+const frameHello = 0
+
+// metrics is one node's bound instrument set over the shared registry.
+// A nil *metrics (no registry configured) no-ops everywhere, so the
+// exchange hot paths carry no enablement branches.
+type metrics struct {
+	node string
+
+	framesSent *obs.CounterVec // {node, peer, kind}
+	bytesSent  *obs.CounterVec // {node, peer}
+	framesRecv *obs.CounterVec // {node, peer, kind}
+	bytesRecv  *obs.CounterVec // {node, peer}
+
+	dialRetries  *obs.CounterVec // {node, peer}
+	backoffNs    *obs.Counter
+	deadlineHits *obs.CounterVec // {node, phase}
+
+	hashOcc  *obs.Gauge
+	switches *obs.CounterVec // {node, to}
+}
+
+// newMetrics binds the dist metric families for node id. Returns nil
+// (the disabled instrument set) when r is nil.
+func newMetrics(r *obs.Registry, id int) *metrics {
+	if r == nil {
+		return nil
+	}
+	node := strconv.Itoa(id)
+	return &metrics{
+		node: node,
+		framesSent: r.CounterVec("dist_frames_sent_total",
+			"wire frames written, by destination peer and frame kind", "node", "peer", "kind"),
+		bytesSent: r.CounterVec("dist_bytes_sent_total",
+			"wire bytes written per destination peer (headers + records + hello)", "node", "peer"),
+		framesRecv: r.CounterVec("dist_frames_recv_total",
+			"wire frames read, by source peer and frame kind", "node", "peer", "kind"),
+		bytesRecv: r.CounterVec("dist_bytes_recv_total",
+			"wire bytes read per source peer (headers + records + hello)", "node", "peer"),
+		dialRetries: r.CounterVec("dist_dial_retries_total",
+			"failed dial attempts that were retried with backoff", "node", "peer"),
+		backoffNs: r.CounterVec("dist_backoff_wait_ns_total",
+			"total time slept in dial backoff", "node").With(node),
+		deadlineHits: r.CounterVec("dist_deadline_hits_total",
+			"I/O operations failed by an expired read or write deadline", "node", "phase"),
+		hashOcc: r.GaugeVec("dist_hash_occupancy_permille",
+			"high-water fill of the local hash table per 1000 entries", "node").With(node),
+		switches: r.CounterVec("dist_phase_switch_total",
+			"adaptive strategy switches fired", "node", "to"),
+	}
+}
+
+// kindName maps a frame kind byte to its metric label.
+func kindName(kind byte) string {
+	switch kind {
+	case frameHello:
+		return "hello"
+	case frameRaw:
+		return "raw"
+	case framePartial:
+		return "partial"
+	case frameEOS:
+		return "eos"
+	case frameEOP:
+		return "eop"
+	default:
+		return "unknown"
+	}
+}
+
+// frameBytes is the wire size of a frame with the given record count.
+func frameBytes(kind byte, count int) int64 {
+	switch kind {
+	case frameHello:
+		return 4
+	case frameRaw:
+		return 5 + int64(count)*tuple.RawSize
+	case framePartial:
+		return 5 + int64(count)*tuple.PartialSize
+	default:
+		return 5
+	}
+}
+
+func (m *metrics) sent(peer int, kind byte, count int) {
+	if m == nil {
+		return
+	}
+	p := strconv.Itoa(peer)
+	m.framesSent.With(m.node, p, kindName(kind)).Inc()
+	m.bytesSent.With(m.node, p).Add(frameBytes(kind, count))
+}
+
+func (m *metrics) recv(peer int, kind byte, count int) {
+	if m == nil {
+		return
+	}
+	p := strconv.Itoa(peer)
+	m.framesRecv.With(m.node, p, kindName(kind)).Inc()
+	m.bytesRecv.With(m.node, p).Add(frameBytes(kind, count))
+}
+
+func (m *metrics) dialRetry(peer int) {
+	if m == nil {
+		return
+	}
+	m.dialRetries.With(m.node, strconv.Itoa(peer)).Inc()
+}
+
+func (m *metrics) backoff(d time.Duration) {
+	if m == nil || d <= 0 {
+		return
+	}
+	m.backoffNs.Add(int64(d))
+}
+
+// ioError classifies err after a failed I/O operation: an expired
+// deadline (net.Error with Timeout true) bumps the deadline-hit
+// counter for the protocol phase.
+func (m *metrics) ioError(phase Phase, err error) {
+	if m == nil || err == nil {
+		return
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		m.deadlineHits.With(m.node, string(phase)).Inc()
+	}
+}
+
+// occupancy records the local hash table's high-water fill level.
+func (m *metrics) occupancy(used, capacity int) {
+	if m == nil || capacity <= 0 {
+		return
+	}
+	m.hashOcc.Max(int64(1000 * used / capacity))
+}
+
+func (m *metrics) switched(to string) {
+	if m == nil {
+		return
+	}
+	m.switches.With(m.node, to).Inc()
+}

@@ -31,6 +31,13 @@ const (
 // unbounded memory.
 const maxFrameRecords = 1 << 20
 
+// allocChunk caps the upfront record-slice allocation while decoding a
+// frame. The slice then grows with append as record bytes actually
+// arrive, so a forged header claiming maxFrameRecords records costs a
+// few KiB, not tens of MiB, before the connection's read deadline or a
+// short read kills it.
+const allocChunk = 4096
+
 // writeHello sends the connection's source node id.
 func writeHello(w io.Writer, src int) error {
 	var b [4]byte
@@ -113,6 +120,7 @@ type peer struct {
 	conn    net.Conn
 	w       *bufio.Writer
 	timeout time.Duration
+	m       *metrics // nil when metrics are disabled
 }
 
 func (p *peer) arm() {
@@ -121,35 +129,46 @@ func (p *peer) arm() {
 	}
 }
 
+// count wraps a frame write with the send-side metrics: bytes and
+// frames on success, deadline classification on failure.
+func (p *peer) count(kind byte, records int, err error) error {
+	if err != nil {
+		p.m.ioError(PhaseWrite, err)
+		return err
+	}
+	p.m.sent(p.id, kind, records)
+	return nil
+}
+
 func (p *peer) writeHello(src int) error {
 	p.arm()
 	if err := writeHello(p.w, src); err != nil {
-		return err
+		return p.count(frameHello, 0, err)
 	}
 	// Flush so the hello doubles as a handshake: the accept side can
 	// identify the peer (and apply its read deadline) immediately instead
 	// of waiting for the first data flush.
-	return p.w.Flush()
+	return p.count(frameHello, 0, p.w.Flush())
 }
 
 func (p *peer) writeRaw(ts []tuple.Tuple) error {
 	p.arm()
-	return writeRawFrame(p.w, ts)
+	return p.count(frameRaw, len(ts), writeRawFrame(p.w, ts))
 }
 
 func (p *peer) writePartials(ps []tuple.Partial) error {
 	p.arm()
-	return writePartialFrame(p.w, ps)
+	return p.count(framePartial, len(ps), writePartialFrame(p.w, ps))
 }
 
 func (p *peer) writeEOS() error {
 	p.arm()
-	return writeEOSFrame(p.w)
+	return p.count(frameEOS, 0, writeEOSFrame(p.w))
 }
 
 func (p *peer) writeEOP() error {
 	p.arm()
-	return writeEOPFrame(p.w)
+	return p.count(frameEOP, 0, writeEOPFrame(p.w))
 }
 
 // frame is one decoded wire frame.
@@ -177,23 +196,23 @@ func readFrame(r *bufio.Reader) (frame, error) {
 		}
 		return frame{kind: kind}, nil
 	case frameRaw:
-		f := frame{kind: kind, raw: make([]tuple.Tuple, count)}
+		f := frame{kind: kind, raw: make([]tuple.Tuple, 0, min(count, allocChunk))}
 		var rec [tuple.RawSize]byte
 		for i := 0; i < count; i++ {
 			if _, err := io.ReadFull(r, rec[:]); err != nil {
 				return frame{}, err
 			}
-			f.raw[i] = tuple.DecodeRaw(rec[:])
+			f.raw = append(f.raw, tuple.DecodeRaw(rec[:]))
 		}
 		return f, nil
 	case framePartial:
-		f := frame{kind: kind, partials: make([]tuple.Partial, count)}
+		f := frame{kind: kind, partials: make([]tuple.Partial, 0, min(count, allocChunk))}
 		var rec [tuple.PartialSize]byte
 		for i := 0; i < count; i++ {
 			if _, err := io.ReadFull(r, rec[:]); err != nil {
 				return frame{}, err
 			}
-			f.partials[i] = tuple.DecodePartial(rec[:])
+			f.partials = append(f.partials, tuple.DecodePartial(rec[:]))
 		}
 		return f, nil
 	default:

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"strconv"
 
 	"parallelagg/internal/cluster"
 	"parallelagg/internal/des"
@@ -76,6 +77,9 @@ func (a *AdaptiveAgg) Run(p *des.Proc) {
 			if a.Node.Metrics.SwitchedAt < 0 {
 				a.Node.Metrics.SwitchedAt = a.Node.Metrics.Scanned
 			}
+			a.C.Obs.CounterVec("sim_phase_switch_total",
+				"adaptive strategy switches fired", "node", "to").
+				With(strconv.Itoa(a.Node.ID), "repart").Inc()
 			flush()
 			rest := b.Raw[overflowFrom:]
 			a.Node.Work(p, prm.TRead*float64(len(rest)))

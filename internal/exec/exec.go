@@ -16,6 +16,7 @@ package exec
 
 import (
 	"fmt"
+	"strconv"
 
 	"parallelagg/internal/cluster"
 	"parallelagg/internal/des"
@@ -235,6 +236,9 @@ func (h *HashAgg) Run(p *des.Proc) {
 		mb = 64
 	}
 	tab := hashtab.New(prm.HashEntries)
+	occ := h.C.Obs.GaugeVec("sim_hash_occupancy_permille",
+		"high-water fill of the local hash table per 1000 entries", "node").
+		With(strconv.Itoa(h.Node.ID))
 	var spill *spillSet
 	expected := int64(h.Node.Rel.Len())
 	seen := int64(0)
@@ -257,6 +261,9 @@ func (h *HashAgg) Run(p *des.Proc) {
 				spill = spill.ensure(h, tab, seen, expected, mb)
 				spill.addPartial(p, pt)
 			}
+		}
+		if tab.Cap() > 0 {
+			occ.Max(int64(1000 * tab.Len() / tab.Cap()))
 		}
 	}
 	emit := func(parts []tuple.Partial) {

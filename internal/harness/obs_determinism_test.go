@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"parallelagg/internal/core"
+	"parallelagg/internal/obs"
+	"parallelagg/internal/params"
+	"parallelagg/internal/workload"
+)
+
+// TestSnapshotSameSeedByteIdentical is the determinism contract of the
+// observability layer (DESIGN.md §9): two full simulator runs from the
+// same seed must serialize byte-identical metrics snapshots — virtual
+// time, integer-valued metrics, and sorted export order leave nothing
+// for the host machine to perturb. One adaptive algorithm from each
+// family keeps the switch paths in the covered surface.
+func TestSnapshotSameSeedByteIdentical(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.A2P, core.ARep} {
+		t.Run(alg.String(), func(t *testing.T) {
+			run := func() []byte {
+				prm := params.Implementation()
+				prm.Tuples = 40_000
+				prm.HashEntries = 400 // small enough that switches and spills fire
+				rel := workload.Uniform(prm.N, prm.Tuples, 6_000, 7)
+				reg := obs.New()
+				if _, err := core.Run(prm, rel, alg, core.Options{Obs: reg}); err != nil {
+					t.Fatal(err)
+				}
+				return reg.Snapshot()
+			}
+			a, b := run(), run()
+			if len(a) == 0 {
+				t.Fatal("snapshot is empty")
+			}
+			if !bytes.Equal(a, b) {
+				for i := range a {
+					if i >= len(b) || a[i] != b[i] {
+						lo := max(0, i-80)
+						t.Fatalf("snapshots diverge at byte %d:\nrun1: …%s\nrun2: …%s",
+							i, a[lo:min(len(a), i+80)], b[lo:min(len(b), i+80)])
+					}
+				}
+				t.Fatalf("snapshots differ in length: %d vs %d", len(a), len(b))
+			}
+			for _, series := range []string{
+				"sim_virtual_time_ns",
+				"sim_node_utilization_permille",
+				"sim_node_scanned_total",
+				"sim_phase_switch_total",
+				"sim_hash_occupancy_permille",
+				"sim_net_bytes_total",
+			} {
+				if !bytes.Contains(a, []byte(series)) {
+					t.Errorf("snapshot is missing family %s", series)
+				}
+			}
+		})
+	}
+}

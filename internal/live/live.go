@@ -24,7 +24,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"parallelagg/internal/obs"
+	"parallelagg/internal/trace"
 	"parallelagg/internal/tuple"
 )
 
@@ -97,6 +100,14 @@ type Config struct {
 	// bound. SpillDir selects the directory ("" = the OS temp dir).
 	SpillToDisk bool
 	SpillDir    string
+
+	// Obs, when non-nil, receives per-worker counters (rows, routed
+	// tuples, partials, spills, groups, merge fan-in) and whole-run
+	// throughput after the aggregation completes.
+	Obs *obs.Registry
+
+	// Tracer, when non-nil, records a scan and a merge span per worker.
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +133,7 @@ type WorkerMetrics struct {
 	PartialsSent int64 // partial aggregates shipped
 	Spilled      int64 // tuples that left the bounded table (memory or disk)
 	GroupsOut    int64 // result groups this worker's merge side produced
+	FanIn        int64 // distinct scan sides that fed this worker's merge side
 	Switched     bool  // the adaptive switch fired
 }
 
@@ -134,6 +146,7 @@ type Result struct {
 
 // message is one exchange batch between workers.
 type message struct {
+	src  int // sending worker, for merge fan-in accounting
 	raw  []tuple.Tuple
 	part []tuple.Partial
 }
@@ -183,6 +196,7 @@ func AggregatePartitioned(cfg Config, parts [][]tuple.Tuple, alg Algorithm) (*Re
 	errs := make([]error, w)
 	var fallback atomic.Bool // ARep's broadcast "end-of-phase" flag
 
+	start := time.Now()
 	var all sync.WaitGroup
 	for i := 0; i < w; i++ {
 		i := i
@@ -191,15 +205,20 @@ func AggregatePartitioned(cfg Config, parts [][]tuple.Tuple, alg Algorithm) (*Re
 		go func() {
 			defer all.Done()
 			defer scanners.Done()
+			span := cfg.Tracer.Begin(i, "scan")
 			switched[i], errs[i] = wk.scanSide(parts[i])
+			span.End(fmt.Sprintf("%d tuples, switched=%v", len(parts[i]), switched[i]))
 		}()
 		go func() {
 			defer all.Done()
+			span := cfg.Tracer.Begin(i, "merge")
 			results[i] = wk.mergeSide(inboxes[i])
 			metrics[i].GroupsOut = int64(len(results[i]))
+			span.End(fmt.Sprintf("%d groups, fan-in %d", len(results[i]), metrics[i].FanIn))
 		}()
 	}
 	all.Wait()
+	elapsed := time.Since(start)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -226,6 +245,7 @@ func AggregatePartitioned(cfg Config, parts [][]tuple.Tuple, alg Algorithm) (*Re
 			res.PerWorker[i].Switched = true
 		}
 	}
+	publishObs(cfg.Obs, metrics, elapsed)
 	return res, nil
 }
 
@@ -414,7 +434,9 @@ func (wk *worker) mergeSide(inbox <-chan message) map[tuple.Key]tuple.AggState {
 		}
 		global[pt.Key] = pt.State
 	}
+	srcs := make(map[int]struct{})
 	for m := range inbox {
+		srcs[m.src] = struct{}{}
 		for _, t := range m.raw {
 			absorb(tuple.Partial{Key: t.Key, State: tuple.NewState(t.Val)})
 		}
@@ -422,6 +444,7 @@ func (wk *worker) mergeSide(inbox <-chan message) map[tuple.Key]tuple.AggState {
 			absorb(pt)
 		}
 	}
+	wk.m.FanIn = int64(len(srcs))
 	if len(overflow) == 0 {
 		return global
 	}
@@ -446,7 +469,7 @@ func (wk *worker) route(t tuple.Tuple) {
 	d := t.Key.Dest(wk.cfg.Workers)
 	wk.outRaw[d] = append(wk.outRaw[d], t)
 	if len(wk.outRaw[d]) >= wk.cfg.Batch {
-		wk.inboxes[d] <- message{raw: wk.outRaw[d]}
+		wk.inboxes[d] <- message{src: wk.id, raw: wk.outRaw[d]}
 		wk.outRaw[d] = nil
 	}
 }
@@ -458,7 +481,7 @@ func (wk *worker) flushPartials(tab map[tuple.Key]tuple.AggState) {
 		d := k.Dest(wk.cfg.Workers)
 		wk.outPart[d] = append(wk.outPart[d], tuple.Partial{Key: k, State: s})
 		if len(wk.outPart[d]) >= wk.cfg.Batch {
-			wk.inboxes[d] <- message{part: wk.outPart[d]}
+			wk.inboxes[d] <- message{src: wk.id, part: wk.outPart[d]}
 			wk.outPart[d] = nil
 		}
 	}
@@ -468,11 +491,11 @@ func (wk *worker) flushPartials(tab map[tuple.Key]tuple.AggState) {
 func (wk *worker) flushAll() {
 	for d := range wk.inboxes {
 		if len(wk.outRaw[d]) > 0 {
-			wk.inboxes[d] <- message{raw: wk.outRaw[d]}
+			wk.inboxes[d] <- message{src: wk.id, raw: wk.outRaw[d]}
 			wk.outRaw[d] = nil
 		}
 		if len(wk.outPart[d]) > 0 {
-			wk.inboxes[d] <- message{part: wk.outPart[d]}
+			wk.inboxes[d] <- message{src: wk.id, part: wk.outPart[d]}
 			wk.outPart[d] = nil
 		}
 	}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the registry:
+//
+//	/metrics        Prometheus text exposition (deterministic order)
+//	/metrics.json   the same data as JSON
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// The pprof handlers are mounted explicitly on a private mux so that
+// importing obs never mutates http.DefaultServeMux.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts serving the registry's Handler on ln in a background
+// goroutine and returns the server. The caller owns shutdown: call
+// srv.Close (which also closes ln) when done.
+func Serve(ln net.Listener, r *Registry) *http.Server {
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return srv
+}

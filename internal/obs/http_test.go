@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerServesMetricsAndJSON(t *testing.T) {
+	r := New()
+	r.CounterVec("peer_bytes_total", "bytes", "peer").With("2").Add(99)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(body, `peer_bytes_total{peer="2"} 99`) {
+		t.Errorf("/metrics missing series:\n%s", body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+
+	body, ctype = get("/metrics.json")
+	if !strings.Contains(body, `"peer_bytes_total"`) {
+		t.Errorf("/metrics.json missing family:\n%s", body)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/metrics.json content type = %q", ctype)
+	}
+
+	// pprof is mounted on the private mux.
+	body, _ = get("/debug/pprof/cmdline")
+	if body == "" {
+		t.Error("/debug/pprof/cmdline returned nothing")
+	}
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteProm writes the registry in Prometheus text exposition format,
+// families sorted by name and series by label values, so the output is
+// a deterministic function of the metric values. A nil registry writes
+// nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.sorted() {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelSet(f.labels, s.labelVals, "", ""), s.c.Value())
+		return err
+	case KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelSet(f.labels, s.labelVals, "", ""), s.g.Value())
+		return err
+	case KindHistogram:
+		// Cumulative buckets, then _sum and _count, per the format.
+		cum := int64(0)
+		for i, b := range s.h.bounds {
+			cum += s.h.counts[i].Load()
+			le := strconv.FormatInt(b, 10)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelSet(f.labels, s.labelVals, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		cum += s.h.counts[len(s.h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelSet(f.labels, s.labelVals, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", f.name, labelSet(f.labels, s.labelVals, "", ""), s.h.Sum()); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelSet(f.labels, s.labelVals, "", ""), s.h.Count())
+		return err
+	}
+	return nil
+}
+
+// labelSet renders {k="v",...}, optionally with one extra label
+// appended (the histogram "le"), or "" when there are no labels.
+func labelSet(keys, vals []string, extraKey, extraVal string) string {
+	if len(keys) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Snapshot returns the deterministic text serialization of the
+// registry (the Prometheus exposition, sorted). Two runs that perform
+// the same metric updates produce byte-identical snapshots; the
+// simulator's same-seed determinism tests and CI diff exactly this.
+func (r *Registry) Snapshot() []byte {
+	var b bytes.Buffer
+	// bytes.Buffer writes cannot fail.
+	_ = r.WriteProm(&b)
+	return b.Bytes()
+}
+
+// WriteJSON writes the registry as a single JSON object, families and
+// series in the same deterministic order as WriteProm. The format is
+// hand-rolled (sorted, no struct tags to drift) and stable:
+//
+//	{"families":[{"name":...,"type":...,"help":...,
+//	  "series":[{"labels":{...},"value":N}
+//	            |{"labels":{...},"buckets":[{"le":...,"count":N}],
+//	              "sum":N,"count":N}]}]}
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var b bytes.Buffer
+	b.WriteString(`{"families":[`)
+	for fi, f := range r.sortedFamilies() {
+		if fi > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"name":%s,"type":%s,"help":%s,"series":[`,
+			jsonStr(f.name), jsonStr(f.kind.String()), jsonStr(f.help))
+		for si, s := range f.sorted() {
+			if si > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(`{"labels":{`)
+			for li, k := range f.labels {
+				if li > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, `%s:%s`, jsonStr(k), jsonStr(s.labelVals[li]))
+			}
+			b.WriteString(`}`)
+			switch f.kind {
+			case KindCounter:
+				fmt.Fprintf(&b, `,"value":%d}`, s.c.Value())
+			case KindGauge:
+				fmt.Fprintf(&b, `,"value":%d}`, s.g.Value())
+			case KindHistogram:
+				b.WriteString(`,"buckets":[`)
+				cum := int64(0)
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, `{"le":%d,"count":%d}`, bound, cum)
+				}
+				cum += s.h.counts[len(s.h.bounds)].Load()
+				if len(s.h.bounds) > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, `{"le":"+Inf","count":%d}`, cum)
+				fmt.Fprintf(&b, `],"sum":%d,"count":%d}`, s.h.Sum(), s.h.Count())
+			}
+		}
+		b.WriteString(`]}`)
+	}
+	b.WriteString(`]}`)
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+func jsonStr(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, c := range s {
+		switch c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			if c < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, c)
+			} else {
+				b.WriteRune(c)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

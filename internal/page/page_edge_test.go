@@ -1,0 +1,80 @@
+package page
+
+import (
+	"testing"
+
+	"parallelagg/internal/tuple"
+)
+
+// TestPartiallyFilledLastPage models the tail of a paged relation: the
+// last page holds fewer records than its capacity, and draining it must
+// yield exactly the appended records — no phantom zero-value records
+// from the unused slots.
+func TestPartiallyFilledLastPage(t *testing.T) {
+	p := NewRaw(tuple.RawSize * 8)
+	if p.Cap() != 8 {
+		t.Fatalf("Cap() = %d, want 8", p.Cap())
+	}
+	want := []tuple.Tuple{{Key: 10, Val: -1}, {Key: 20, Val: 0}, {Key: 30, Val: 7}}
+	for _, tp := range want {
+		if !p.Append(tp) {
+			t.Fatalf("Append(%v) reported full at %d/%d", tp, p.Len(), p.Cap())
+		}
+	}
+	if p.Full() {
+		t.Fatal("page with 3/8 records reports Full")
+	}
+	got := p.All()
+	if len(got) != len(want) {
+		t.Fatalf("All() returned %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// The first unused slot must be out of range, not a zero record.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(Len()) on a partially filled page did not panic")
+		}
+	}()
+	p.At(p.Len())
+}
+
+// TestZeroRecordPage is the zero-tuple relation case: a fresh page (and
+// a reset one) must report zero length, drain to an empty slice, and
+// still accept appends afterwards.
+func TestZeroRecordPage(t *testing.T) {
+	p := NewPartial(tuple.PartialSize * 4)
+	if p.Len() != 0 || p.Full() {
+		t.Fatalf("fresh page: Len=%d Full=%v", p.Len(), p.Full())
+	}
+	if got := p.All(); len(got) != 0 {
+		t.Fatalf("All() on empty page returned %d records", len(got))
+	}
+
+	// Fill, reset, and verify the page is indistinguishable from fresh.
+	for i := 0; i < p.Cap(); i++ {
+		if !p.Append(tuple.Partial{Key: tuple.Key(i), State: tuple.NewState(int64(i))}) {
+			t.Fatalf("Append %d failed", i)
+		}
+	}
+	if !p.Full() {
+		t.Fatal("page at capacity does not report Full")
+	}
+	p.Reset()
+	if p.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", p.Len())
+	}
+	if got := p.All(); len(got) != 0 {
+		t.Fatalf("All() after Reset returned %d records", len(got))
+	}
+	pt := tuple.Partial{Key: 99, State: tuple.NewState(5)}
+	if !p.Append(pt) {
+		t.Fatal("Append after Reset failed")
+	}
+	if got := p.At(0); got != pt {
+		t.Fatalf("At(0) after Reset = %v, want %v", got, pt)
+	}
+}

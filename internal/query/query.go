@@ -448,6 +448,12 @@ func Execute(t *Table, q Query, cfg live.Config, alg live.Algorithm) (*Result, e
 	if q.Limit > 0 && len(out.Rows) > q.Limit {
 		out.Rows = out.Rows[:q.Limit]
 	}
+	if r := cfg.Obs; r != nil {
+		r.Counter("sql_queries_total", "queries executed").Inc()
+		r.Counter("sql_rows_in_total", "table rows read (before WHERE)").Add(int64(len(t.Rows)))
+		r.Counter("sql_rows_selected_total", "rows surviving the WHERE clause").Add(int64(len(enc)))
+		r.Counter("sql_groups_out_total", "result rows produced (after HAVING and LIMIT)").Add(int64(len(out.Rows)))
+	}
 	return out, nil
 }
 

@@ -23,10 +23,14 @@
 package parallelagg
 
 import (
+	"net"
+	"net/http"
+
 	"parallelagg/internal/core"
 	"parallelagg/internal/cost"
 	"parallelagg/internal/des"
 	"parallelagg/internal/harness"
+	"parallelagg/internal/obs"
 	"parallelagg/internal/params"
 	"parallelagg/internal/trace"
 	"parallelagg/internal/tuple"
@@ -134,6 +138,22 @@ const (
 func Aggregate(prm Params, rel *Relation, alg Algorithm, opt Options) (*Result, error) {
 	return core.Run(prm, rel, alg, opt)
 }
+
+// MetricsRegistry collects integer-valued counters, gauges and
+// histograms from a run. Attach one via Options.Obs; after the run,
+// Snapshot() serializes every series in Prometheus text format, sorted,
+// and is byte-identical across same-seed simulations (DESIGN.md §9).
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry ready to attach to
+// Options.Obs (simulator), dist.Config.Obs, or live.Config.Obs.
+func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
+
+// ServeMetrics exposes a registry over HTTP on ln: Prometheus text on
+// /metrics, JSON on /metrics.json, and net/http/pprof under
+// /debug/pprof/. The returned server is already serving; Close it to
+// stop.
+func ServeMetrics(ln net.Listener, r *MetricsRegistry) *http.Server { return obs.Serve(ln, r) }
 
 // CostModel evaluates the paper's closed-form cost equations (Sections
 // 2–4); CostBreakdown is a per-component estimate in seconds.

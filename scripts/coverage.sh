@@ -1,0 +1,20 @@
+#!/bin/sh
+# Coverage ratchet: total statement coverage must not drop below the
+# floor recorded in scripts/coverage-floor.txt. When a PR raises
+# coverage meaningfully, raise the floor with it — the ratchet only
+# turns one way.
+set -eu
+
+GO="${GO:-go}"
+dir=$(dirname "$0")
+floor=$(cat "$dir/coverage-floor.txt")
+profile="${COVERPROFILE:-coverage.out}"
+
+"$GO" test -count=1 -coverprofile="$profile" ./... >/dev/null
+total=$("$GO" tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+
+echo "total statement coverage: ${total}% (ratchet floor ${floor}%)"
+if ! awk -v t="$total" -v f="$floor" 'BEGIN { exit (t + 0 >= f + 0) ? 0 : 1 }'; then
+	echo "coverage ${total}% fell below the ratchet floor ${floor}%" >&2
+	exit 1
+fi
