@@ -54,3 +54,4 @@ bench:
 # algorithm × selectivity, written to BENCH_pr3.json.
 bench-json:
 	GO="$(GO)" sh scripts/bench-json.sh
+	$(GO) run ./cmd/aggbench -microbench -out BENCH_pr5.json

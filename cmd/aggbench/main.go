@@ -29,8 +29,18 @@ func main() {
 		check      = flag.Bool("check", false, "validate figure shapes against the paper's claims")
 		format     = flag.String("format", "table", "output format: table, csv, or chart")
 		record     = flag.String("record", "", "also write all output as markdown to this file")
+		micro      = flag.Bool("microbench", false, "run the data-plane microbenchmarks (aggtable vs builtin map) instead of the figures")
+		microOut   = flag.String("out", "BENCH_pr5.json", "microbenchmark JSON output file")
 	)
 	flag.Parse()
+
+	if *micro {
+		if err := runMicrobench(*microOut); err != nil {
+			fmt.Fprintf(os.Stderr, "aggbench: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	r := parallelagg.NewExperimentRunner(*scale, *seed)
 	ids := parallelagg.AllExperimentIDs()

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"parallelagg/internal/aggtable"
+	"parallelagg/internal/tuple"
+	"parallelagg/live"
+)
+
+// The -microbench mode measures the data plane itself rather than the
+// paper's figures: the open-addressing aggregation table against the
+// frozen builtin-map baseline, first in isolation (table-update suite)
+// and then end to end through the live engine, across selectivities and
+// algorithms. The records land in a JSON file (BENCH_pr5.json in CI) so
+// regressions diff as data, not as prose.
+
+// benchRecord is one measured configuration.
+type benchRecord struct {
+	Suite       string  `json:"suite"` // "table-update" or "live-engine"
+	Impl        string  `json:"impl"`  // "map" or "aggtable"
+	Algorithm   string  `json:"algorithm,omitempty"`
+	Selectivity float64 `json:"selectivity"`
+	Rows        int     `json:"rows"`
+	Groups      int     `json:"groups"`
+	Workers     int     `json:"workers,omitempty"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	RowsPerSec  int64   `json:"rows_per_sec"`
+}
+
+// benchRows is the input size of every microbench configuration. One
+// "op" folds the whole slice, so ns/op divided by benchRows is the
+// per-tuple cost and rows_per_sec is directly comparable across suites.
+const benchRows = 1 << 20
+
+// microSelectivities mirrors the simulator sweep: the group count is
+// sel × rows, from "every tuple collapses" to "every other tuple is a
+// new group".
+var microSelectivities = []float64{0.001, 0.05, 0.5}
+
+// benchInput builds a deterministic uniform workload: rows tuples over
+// sel*rows groups, keys scattered by a Fibonacci-style multiplier so
+// consecutive tuples rarely share a group.
+func benchInput(sel float64) ([]tuple.Tuple, int) {
+	groups := int(sel * float64(benchRows))
+	if groups < 1 {
+		groups = 1
+	}
+	in := make([]tuple.Tuple, benchRows)
+	for i := range in {
+		in[i] = tuple.Tuple{
+			Key: tuple.Key(uint64(i) * 2654435761 % uint64(groups)),
+			Val: int64(i % 1000),
+		}
+	}
+	return in, groups
+}
+
+// record converts one testing.Benchmark result into a benchRecord.
+func record(suite, impl, alg string, sel float64, rows, groups, workers int, r testing.BenchmarkResult) benchRecord {
+	ns := r.NsPerOp()
+	var rps int64
+	if ns > 0 {
+		rps = int64(float64(rows) * 1e9 / float64(ns))
+	}
+	return benchRecord{
+		Suite: suite, Impl: impl, Algorithm: alg,
+		Selectivity: sel, Rows: rows, Groups: groups, Workers: workers,
+		NsPerOp: ns, BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+		RowsPerSec: rps,
+	}
+}
+
+// benchTableUpdate measures the bare fold loop: every tuple through
+// UpdateRaw into one table, no exchange, no goroutines.
+func benchTableUpdate(sel float64) []benchRecord {
+	in, groups := benchInput(sel)
+	mapRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := make(map[tuple.Key]tuple.AggState)
+			for _, t := range in {
+				if s, ok := m[t.Key]; ok {
+					s.Update(t.Val)
+					m[t.Key] = s
+				} else {
+					m[t.Key] = tuple.NewState(t.Val)
+				}
+			}
+			if len(m) != groups {
+				b.Fatalf("got %d groups", len(m))
+			}
+		}
+	})
+	tabRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tab := aggtable.New(0)
+			for _, t := range in {
+				tab.UpdateRaw(t)
+			}
+			if tab.Len() != groups {
+				b.Fatalf("got %d groups", tab.Len())
+			}
+		}
+	})
+	return []benchRecord{
+		record("table-update", "map", "", sel, benchRows, groups, 0, mapRes),
+		record("table-update", "aggtable", "", sel, benchRows, groups, 0, tabRes),
+	}
+}
+
+// benchLiveEngine measures the full engine: scan, exchange, merge.
+func benchLiveEngine(sel float64, alg live.Algorithm, workers int) []benchRecord {
+	in, groups := benchInput(sel)
+	run := func(baseline bool) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := live.Aggregate(live.Config{Workers: workers, BaselineMapTables: baseline}, in, alg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Groups) != groups {
+					b.Fatalf("got %d groups, want %d", len(res.Groups), groups)
+				}
+			}
+		})
+	}
+	algName := alg.String()
+	return []benchRecord{
+		record("live-engine", "map", algName, sel, benchRows, groups, workers, run(true)),
+		record("live-engine", "aggtable", algName, sel, benchRows, groups, workers, run(false)),
+	}
+}
+
+// runMicrobench executes the full suite and writes the JSON file.
+func runMicrobench(out string) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4 // match the committed baseline's machine-independent shape
+	}
+	var recs []benchRecord
+	for _, sel := range microSelectivities {
+		fmt.Fprintf(os.Stderr, "microbench: table-update sel=%g\n", sel)
+		recs = append(recs, benchTableUpdate(sel)...)
+	}
+	for _, alg := range live.Algorithms() {
+		for _, sel := range microSelectivities {
+			fmt.Fprintf(os.Stderr, "microbench: live-engine alg=%v sel=%g\n", alg, sel)
+			recs = append(recs, benchLiveEngine(sel, alg, workers)...)
+		}
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "microbench: wrote %d records to %s\n", len(recs), out)
+	return summarize(os.Stdout, recs)
+}
+
+// summarize prints the headline comparisons: per configuration, the
+// aggtable speedup over the map baseline.
+func summarize(w *os.File, recs []benchRecord) error {
+	type key struct {
+		suite, alg string
+		sel        float64
+	}
+	base := map[key]benchRecord{}
+	for _, r := range recs {
+		if r.Impl == "map" {
+			base[key{r.Suite, r.Algorithm, r.Selectivity}] = r
+		}
+	}
+	fmt.Fprintf(w, "%-12s %-5s %-6s %12s %12s %10s %8s\n",
+		"suite", "alg", "sel", "map rows/s", "aggt rows/s", "speedup", "allocs")
+	for _, r := range recs {
+		if r.Impl != "aggtable" {
+			continue
+		}
+		b, ok := base[key{r.Suite, r.Algorithm, r.Selectivity}]
+		if !ok || b.RowsPerSec == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %-5s %-6g %12d %12d %9.2fx %8d\n",
+			r.Suite, r.Algorithm, r.Selectivity, b.RowsPerSec, r.RowsPerSec,
+			float64(r.RowsPerSec)/float64(b.RowsPerSec), r.AllocsPerOp)
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package aggtable
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"parallelagg/internal/tuple"
+)
+
+// oracle is the builtin-map model of the Table contract. The property
+// tests run every operation against both and require identical results,
+// so any divergence in the open-addressing layout (probe bugs, growth
+// bugs, lost updates) surfaces as a mismatch.
+type oracle struct {
+	m     map[tuple.Key]tuple.AggState
+	bound int
+}
+
+func newOracle(bound int) *oracle {
+	return &oracle{m: make(map[tuple.Key]tuple.AggState), bound: bound}
+}
+
+func (o *oracle) updateRaw(tp tuple.Tuple) bool {
+	if s, ok := o.m[tp.Key]; ok {
+		s.Update(tp.Val)
+		o.m[tp.Key] = s
+		return true
+	}
+	if o.bound > 0 && len(o.m) >= o.bound {
+		return false
+	}
+	o.m[tp.Key] = tuple.NewState(tp.Val)
+	return true
+}
+
+func (o *oracle) mergePartial(p tuple.Partial) bool {
+	if s, ok := o.m[p.Key]; ok {
+		s.Merge(p.State)
+		o.m[p.Key] = s
+		return true
+	}
+	if o.bound > 0 && len(o.m) >= o.bound {
+		return false
+	}
+	o.m[p.Key] = p.State
+	return true
+}
+
+func (o *oracle) partials() []tuple.Partial {
+	out := make([]tuple.Partial, 0, len(o.m))
+	for k, s := range o.m {
+		out = append(out, tuple.Partial{Key: k, State: s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func (o *oracle) evictBuckets(nbuckets int) [][]tuple.Partial {
+	out := make([][]tuple.Partial, nbuckets)
+	for k, s := range o.m {
+		if b := k.Bucket(nbuckets); b != 0 {
+			out[b] = append(out[b], tuple.Partial{Key: k, State: s})
+			delete(o.m, k)
+		}
+	}
+	for b := 1; b < nbuckets; b++ {
+		sort.Slice(out[b], func(i, j int) bool { return out[b][i].Key < out[b][j].Key })
+	}
+	return out
+}
+
+func samePartials(t *testing.T, ctx string, got, want []tuple.Partial) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d partials, want %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: partial %d = %+v, want %+v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+// checkAgree compares every observable of the table against the oracle.
+func checkAgree(t *testing.T, ctx string, tab *Table, o *oracle) {
+	t.Helper()
+	if tab.Len() != len(o.m) {
+		t.Fatalf("%s: Len = %d, want %d", ctx, tab.Len(), len(o.m))
+	}
+	samePartials(t, ctx, tab.Partials(), o.partials())
+}
+
+// TestPropertyAgainstMapOracle drives 50 seeded random workloads —
+// mixed raw updates, partial merges, drains, resets and bucket
+// evictions, bounded and unbounded — through the table and the map
+// oracle in lockstep.
+func TestPropertyAgainstMapOracle(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+
+		// Vary the shape per seed: bound (0 = unbounded), key-space
+		// width (narrow spaces force collisions and updates, wide
+		// spaces force growth), and op count.
+		bound := 0
+		if seed%3 != 0 {
+			bound = 1 + rng.Intn(200)
+		}
+		keySpace := int64(1) << uint(3+rng.Intn(14))
+		ops := 1000 + rng.Intn(3000)
+
+		tab := New(bound)
+		o := newOracle(bound)
+		for op := 0; op < ops; op++ {
+			k := tuple.Key(rng.Int63n(keySpace))
+			switch c := rng.Intn(100); {
+			case c < 55:
+				v := rng.Int63n(1000) - 500
+				got := tab.UpdateRaw(tuple.Tuple{Key: k, Val: v})
+				want := o.updateRaw(tuple.Tuple{Key: k, Val: v})
+				if got != want {
+					t.Fatalf("seed %d op %d: UpdateRaw(%d) = %v, oracle %v", seed, op, k, got, want)
+				}
+			case c < 75:
+				p := tuple.Partial{Key: k, State: tuple.NewState(rng.Int63n(1000))}
+				got := tab.MergePartial(p)
+				want := o.mergePartial(p)
+				if got != want {
+					t.Fatalf("seed %d op %d: MergePartial(%d) = %v, oracle %v", seed, op, k, got, want)
+				}
+			case c < 80:
+				if got, want := tab.Contains(k), func() bool { _, ok := o.m[k]; return ok }(); got != want {
+					t.Fatalf("seed %d op %d: Contains(%d) = %v, oracle %v", seed, op, k, got, want)
+				}
+				gs, gok := tab.Get(k)
+				ws, wok := o.m[k]
+				if gok != wok || gs != ws {
+					t.Fatalf("seed %d op %d: Get(%d) = %+v,%v, oracle %+v,%v", seed, op, k, gs, gok, ws, wok)
+				}
+			case c < 83:
+				samePartials(t, "drain", tab.Drain(), o.partials())
+				o.m = make(map[tuple.Key]tuple.AggState)
+			case c < 85:
+				tab.Reset()
+				o.m = make(map[tuple.Key]tuple.AggState)
+			case c < 88:
+				nb := 2 + rng.Intn(6)
+				got := tab.EvictBuckets(nb)
+				want := o.evictBuckets(nb)
+				for b := 1; b < nb; b++ {
+					samePartials(t, "evict bucket", got[b], want[b])
+				}
+				if got[0] != nil {
+					t.Fatalf("seed %d: EvictBuckets bucket 0 non-nil", seed)
+				}
+			default:
+				checkAgree(t, "spot check", tab, o)
+			}
+			if tab.Full() != (bound > 0 && len(o.m) >= bound) {
+				t.Fatalf("seed %d op %d: Full() disagrees with oracle", seed, op)
+			}
+		}
+		checkAgree(t, "final", tab, o)
+	}
+}
+
+func TestBoundRefusalContract(t *testing.T) {
+	tab := New(2)
+	for _, k := range []tuple.Key{10, 20} {
+		if !tab.UpdateRaw(tuple.Tuple{Key: k, Val: 1}) {
+			t.Fatalf("insert %d refused below bound", k)
+		}
+	}
+	if tab.UpdateRaw(tuple.Tuple{Key: 30, Val: 1}) {
+		t.Error("new group accepted at bound")
+	}
+	if tab.MergePartial(tuple.Partial{Key: 30, State: tuple.NewState(1)}) {
+		t.Error("new partial accepted at bound")
+	}
+	// Existing groups must still absorb updates at the bound.
+	if !tab.UpdateRaw(tuple.Tuple{Key: 10, Val: 5}) {
+		t.Error("update of resident group refused at bound")
+	}
+	if !tab.Full() {
+		t.Error("Full() = false at bound")
+	}
+	s, ok := tab.Get(10)
+	if !ok || s.Count != 2 || s.Sum != 6 {
+		t.Errorf("group 10 state = %+v, %v", s, ok)
+	}
+}
+
+func TestDrainEmptiesAndShrinks(t *testing.T) {
+	tab := New(0)
+	for i := 0; i < 10_000; i++ {
+		tab.UpdateRaw(tuple.Tuple{Key: tuple.Key(i), Val: 1})
+	}
+	if tab.Slots() == minSlots {
+		t.Fatal("table never grew")
+	}
+	if got := len(tab.Drain()); got != 10_000 {
+		t.Fatalf("drained %d partials, want 10000", got)
+	}
+	if tab.Len() != 0 || tab.Slots() != minSlots {
+		t.Errorf("after Drain: Len=%d Slots=%d, want 0/%d", tab.Len(), tab.Slots(), minSlots)
+	}
+}
+
+func TestNewSizedAvoidsGrowth(t *testing.T) {
+	tab := NewSized(0, 10_000)
+	before := tab.Slots()
+	for i := 0; i < 10_000; i++ {
+		tab.UpdateRaw(tuple.Tuple{Key: tuple.Key(i), Val: 1})
+	}
+	if tab.Slots() != before {
+		t.Errorf("sized table grew from %d to %d slots", before, tab.Slots())
+	}
+}
+
+func TestOccupancyPermille(t *testing.T) {
+	tab := New(10)
+	for i := 0; i < 5; i++ {
+		tab.UpdateRaw(tuple.Tuple{Key: tuple.Key(i), Val: 1})
+	}
+	if got := tab.OccupancyPermille(); got != 500 {
+		t.Errorf("bounded occupancy = %d, want 500", got)
+	}
+	un := New(0)
+	un.UpdateRaw(tuple.Tuple{Key: 1, Val: 1})
+	if got := un.OccupancyPermille(); got <= 0 || got > 1000 {
+		t.Errorf("unbounded occupancy = %d out of range", got)
+	}
+}
+
+func TestEvictBucketsPanicsBelowTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EvictBuckets(1) did not panic")
+		}
+	}()
+	New(0).EvictBuckets(1)
+}
+
+// TestAllocsPinUpdate pins the steady-state data plane: once a table has
+// seen its groups, folding more tuples into it must allocate nothing.
+// CI runs these via `go test -run AllocsPin` as the allocation-regression
+// gate.
+func TestAllocsPinUpdate(t *testing.T) {
+	tab := New(0)
+	const groups = 4096
+	for i := 0; i < groups; i++ {
+		tab.UpdateRaw(tuple.Tuple{Key: tuple.Key(i), Val: 1})
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(10_000, func() {
+		tab.UpdateRaw(tuple.Tuple{Key: tuple.Key(i % groups), Val: 7})
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state UpdateRaw allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestAllocsPinMerge pins the merge path the same way.
+func TestAllocsPinMerge(t *testing.T) {
+	tab := New(0)
+	const groups = 4096
+	for i := 0; i < groups; i++ {
+		tab.MergePartial(tuple.Partial{Key: tuple.Key(i), State: tuple.NewState(1)})
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(10_000, func() {
+		tab.MergePartial(tuple.Partial{Key: tuple.Key(i % groups), State: tuple.NewState(3)})
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state MergePartial allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestAllocsPinInsertWithinCapacity pins insertion into a pre-sized
+// table: no rehash, no per-entry allocation.
+func TestAllocsPinInsertWithinCapacity(t *testing.T) {
+	const n = 8192
+	tab := NewSized(0, n)
+	i := 0
+	allocs := testing.AllocsPerRun(n, func() {
+		tab.UpdateRaw(tuple.Tuple{Key: tuple.Key(i), Val: 1})
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("pre-sized insert allocates %.1f per op, want 0", allocs)
+	}
+}

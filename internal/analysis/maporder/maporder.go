@@ -46,7 +46,8 @@ import (
 // simulated events, network frames, or assembled results.
 var Packages = []string{
 	"internal/des", "internal/core", "internal/exec",
-	"internal/dist", "internal/hashtab",
+	"internal/dist", "internal/hashtab", "internal/aggtable",
+	"internal/live",
 }
 
 var Analyzer = &analysis.Analyzer{

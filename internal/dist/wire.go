@@ -28,7 +28,11 @@ const (
 )
 
 // maxFrameRecords bounds a frame so a corrupt length cannot allocate
-// unbounded memory.
+// unbounded memory. The bound is enforced on BOTH sides of the wire: the
+// decoder rejects oversized counts from a hostile or corrupt peer, and
+// the frame writers refuse to emit a batch that a conforming decoder
+// would reject (a silent >maxFrameRecords write would poison the stream
+// for every later frame on the connection).
 const maxFrameRecords = 1 << 20
 
 // allocChunk caps the upfront record-slice allocation while decoding a
@@ -63,34 +67,69 @@ func writeHeader(w io.Writer, kind byte, count int) error {
 	return err
 }
 
-// writeRawFrame sends a batch of raw tuples.
-func writeRawFrame(w *bufio.Writer, ts []tuple.Tuple) error {
-	if err := writeHeader(w, frameRaw, len(ts)); err != nil {
-		return err
+// frameBuf returns buf resized to hold need bytes, reallocating only
+// when the scratch buffer is too small — the steady state reuses one
+// allocation per connection for every frame.
+func frameBuf(buf []byte, need int) []byte {
+	if cap(buf) < need {
+		return make([]byte, need)
 	}
-	var rec [tuple.RawSize]byte
-	for _, t := range ts {
-		tuple.EncodeRaw(rec[:], t)
-		if _, err := w.Write(rec[:]); err != nil {
-			return err
-		}
-	}
-	return nil
+	return buf[:need]
 }
 
-// writePartialFrame sends a batch of partial aggregates.
-func writePartialFrame(w *bufio.Writer, ps []tuple.Partial) error {
-	if err := writeHeader(w, framePartial, len(ps)); err != nil {
+// rawFrameInto encodes a whole raw frame (header + records) into buf,
+// growing it if needed, and returns the encoded frame. It refuses a
+// batch larger than maxFrameRecords.
+func rawFrameInto(buf []byte, ts []tuple.Tuple) ([]byte, error) {
+	if len(ts) > maxFrameRecords {
+		return buf, fmt.Errorf("dist: raw frame of %d records exceeds the %d-record wire limit", len(ts), maxFrameRecords)
+	}
+	buf = frameBuf(buf, 5+len(ts)*tuple.RawSize)
+	buf[0] = frameRaw
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(ts)))
+	off := 5
+	for _, t := range ts {
+		tuple.EncodeRaw(buf[off:off+tuple.RawSize], t)
+		off += tuple.RawSize
+	}
+	return buf, nil
+}
+
+// partialFrameInto encodes a whole partial frame into buf, with the same
+// contract as rawFrameInto.
+func partialFrameInto(buf []byte, ps []tuple.Partial) ([]byte, error) {
+	if len(ps) > maxFrameRecords {
+		return buf, fmt.Errorf("dist: partial frame of %d records exceeds the %d-record wire limit", len(ps), maxFrameRecords)
+	}
+	buf = frameBuf(buf, 5+len(ps)*tuple.PartialSize)
+	buf[0] = framePartial
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(ps)))
+	off := 5
+	for _, pt := range ps {
+		tuple.EncodePartial(buf[off:off+tuple.PartialSize], pt)
+		off += tuple.PartialSize
+	}
+	return buf, nil
+}
+
+// writeRawFrame sends a batch of raw tuples as one Write call.
+func writeRawFrame(w io.Writer, ts []tuple.Tuple) error {
+	buf, err := rawFrameInto(nil, ts)
+	if err != nil {
 		return err
 	}
-	var rec [tuple.PartialSize]byte
-	for _, pt := range ps {
-		tuple.EncodePartial(rec[:], pt)
-		if _, err := w.Write(rec[:]); err != nil {
-			return err
-		}
+	_, err = w.Write(buf)
+	return err
+}
+
+// writePartialFrame sends a batch of partial aggregates as one Write call.
+func writePartialFrame(w io.Writer, ps []tuple.Partial) error {
+	buf, err := partialFrameInto(nil, ps)
+	if err != nil {
+		return err
 	}
-	return nil
+	_, err = w.Write(buf)
+	return err
 }
 
 // writeEOSFrame signals end of stream and flushes.
@@ -121,6 +160,11 @@ type peer struct {
 	w       *bufio.Writer
 	timeout time.Duration
 	m       *metrics // nil when metrics are disabled
+	// buf is the frame-encoding scratch buffer: each data frame is
+	// encoded here in full and handed to the writer as one Write, so the
+	// steady state is one buffer allocation per connection, not one
+	// record-sized Write per tuple.
+	buf []byte
 }
 
 func (p *peer) arm() {
@@ -153,12 +197,20 @@ func (p *peer) writeHello(src int) error {
 
 func (p *peer) writeRaw(ts []tuple.Tuple) error {
 	p.arm()
-	return p.count(frameRaw, len(ts), writeRawFrame(p.w, ts))
+	var err error
+	if p.buf, err = rawFrameInto(p.buf, ts); err == nil {
+		_, err = p.w.Write(p.buf)
+	}
+	return p.count(frameRaw, len(ts), err)
 }
 
 func (p *peer) writePartials(ps []tuple.Partial) error {
 	p.arm()
-	return p.count(framePartial, len(ps), writePartialFrame(p.w, ps))
+	var err error
+	if p.buf, err = partialFrameInto(p.buf, ps); err == nil {
+		_, err = p.w.Write(p.buf)
+	}
+	return p.count(framePartial, len(ps), err)
 }
 
 func (p *peer) writeEOS() error {

@@ -68,6 +68,64 @@ func TestWireRejectsGarbage(t *testing.T) {
 	}
 }
 
+// The writers must enforce maxFrameRecords too: a frame the decoder
+// would reject may never reach the wire, and nothing may be written
+// before the check (a partial frame would corrupt the stream).
+func TestWriteSideFrameBound(t *testing.T) {
+	over := maxFrameRecords + 1
+	var buf bytes.Buffer
+	if err := writeRawFrame(&buf, make([]tuple.Tuple, over)); err == nil {
+		t.Error("raw frame over the record limit accepted")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("rejected raw frame wrote %d bytes", buf.Len())
+	}
+	if err := writePartialFrame(&buf, make([]tuple.Partial, over)); err == nil {
+		t.Error("partial frame over the record limit accepted")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("rejected partial frame wrote %d bytes", buf.Len())
+	}
+	// Exactly at the bound must be accepted by writer and reader alike.
+	w := bufio.NewWriterSize(&buf, 1<<16)
+	if err := writeRawFrame(w, make([]tuple.Tuple, maxFrameRecords)); err != nil {
+		t.Fatalf("raw frame at the record limit rejected: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := readFrame(bufio.NewReader(&buf))
+	if err != nil || len(f.raw) != maxFrameRecords {
+		t.Fatalf("limit-sized frame: %d records, %v", len(f.raw), err)
+	}
+}
+
+// Each data frame must reach the writer as exactly one Write call — the
+// single-buffer encode is the zero-allocation data plane's contract.
+func TestFrameSingleWrite(t *testing.T) {
+	var cw countingWriter
+	if err := writeRawFrame(&cw, []tuple.Tuple{{Key: 1, Val: 2}, {Key: 3, Val: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if cw.calls != 1 {
+		t.Errorf("raw frame took %d Write calls, want 1", cw.calls)
+	}
+	cw.calls = 0
+	if err := writePartialFrame(&cw, []tuple.Partial{{Key: 9, State: tuple.NewState(7)}}); err != nil {
+		t.Fatal(err)
+	}
+	if cw.calls != 1 {
+		t.Errorf("partial frame took %d Write calls, want 1", cw.calls)
+	}
+}
+
+type countingWriter struct{ calls int }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.calls++
+	return len(p), nil
+}
+
 func TestHelloRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	if err := writeHello(&buf, 42); err != nil {

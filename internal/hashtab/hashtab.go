@@ -5,20 +5,19 @@
 // memory budget of Table 1); when an insert would exceed it the caller
 // decides what to do — spool to an overflow bucket (the traditional
 // algorithms) or switch strategy (the adaptive ones).
+//
+// The storage engine is internal/aggtable's open-addressing table (control
+// bytes, linear probing, inline update); this package keeps the original
+// bounded-table API so the simulator and executor layers are agnostic to
+// the layout swap. See DESIGN.md §10 for the layout and the measured
+// speedup over the builtin-map implementation this replaced.
 package hashtab
 
-import (
-	"sort"
-
-	"parallelagg/internal/tuple"
-)
+import "parallelagg/internal/aggtable"
 
 // Table is a capacity-bounded aggregation hash table. It is not safe for
 // concurrent use; in the simulator each table belongs to one node.
-type Table struct {
-	m        map[tuple.Key]tuple.AggState
-	capacity int
-}
+type Table = aggtable.Table
 
 // New returns an empty table that holds at most capacity group entries.
 // It panics if capacity < 1.
@@ -26,94 +25,5 @@ func New(capacity int) *Table {
 	if capacity < 1 {
 		panic("hashtab: capacity must be at least 1")
 	}
-	return &Table{m: make(map[tuple.Key]tuple.AggState), capacity: capacity}
-}
-
-// Len returns the number of group entries.
-func (t *Table) Len() int { return len(t.m) }
-
-// Cap returns the capacity.
-func (t *Table) Cap() int { return t.capacity }
-
-// Full reports whether the table is at capacity.
-func (t *Table) Full() bool { return len(t.m) >= t.capacity }
-
-// Contains reports whether a group entry exists for k.
-func (t *Table) Contains(k tuple.Key) bool {
-	_, ok := t.m[k]
-	return ok
-}
-
-// UpdateRaw folds one raw tuple into the table. It returns false when the
-// tuple's group is absent and the table is full; the tuple is then NOT
-// absorbed and the caller must handle it (spill or reroute).
-func (t *Table) UpdateRaw(tp tuple.Tuple) bool {
-	if s, ok := t.m[tp.Key]; ok {
-		s.Update(tp.Val)
-		t.m[tp.Key] = s
-		return true
-	}
-	if len(t.m) >= t.capacity {
-		return false
-	}
-	t.m[tp.Key] = tuple.NewState(tp.Val)
-	return true
-}
-
-// MergePartial folds one partial-aggregate tuple into the table, with the
-// same full-table contract as UpdateRaw.
-func (t *Table) MergePartial(p tuple.Partial) bool {
-	if s, ok := t.m[p.Key]; ok {
-		s.Merge(p.State)
-		t.m[p.Key] = s
-		return true
-	}
-	if len(t.m) >= t.capacity {
-		return false
-	}
-	t.m[p.Key] = p.State
-	return true
-}
-
-// Partials returns the table contents as partial tuples in ascending key
-// order (deterministic), without modifying the table.
-func (t *Table) Partials() []tuple.Partial {
-	out := make([]tuple.Partial, 0, len(t.m))
-	for k, s := range t.m {
-		out = append(out, tuple.Partial{Key: k, State: s})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out
-}
-
-// Drain returns the table contents like Partials and empties the table.
-func (t *Table) Drain() []tuple.Partial {
-	out := t.Partials()
-	t.m = make(map[tuple.Key]tuple.AggState)
-	return out
-}
-
-// EvictBuckets removes every entry whose overflow bucket (per
-// tuple.Key.Bucket) is not zero and returns the evicted entries grouped by
-// bucket index 1..nbuckets-1 (slot 0 is always nil). Entries in bucket 0
-// stay resident. This implements step 2 of the paper's uniprocessor hash
-// aggregation: on memory overflow, partition and spool all but the first
-// bucket.
-func (t *Table) EvictBuckets(nbuckets int) [][]tuple.Partial {
-	if nbuckets < 2 {
-		panic("hashtab: EvictBuckets needs at least 2 buckets")
-	}
-	out := make([][]tuple.Partial, nbuckets)
-	for k, s := range t.m {
-		b := k.Bucket(nbuckets)
-		if b == 0 {
-			continue
-		}
-		out[b] = append(out[b], tuple.Partial{Key: k, State: s})
-		delete(t.m, k)
-	}
-	for b := 1; b < nbuckets; b++ {
-		sort.Slice(out[b], func(i, j int) bool { return out[b][i].Key < out[b][j].Key })
-	}
-	return out
+	return aggtable.New(capacity)
 }

@@ -1,0 +1,73 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"parallelagg/internal/tuple"
+)
+
+// TestBackpressureCannotDeadlockA2P is the regression test the inbox
+// sizing comment in AggregatePartitioned points at. It builds the worst
+// case for the exchange: every group is owned by worker 0, the table
+// bound is tiny so every A-2P scan side switches and mass re-routes its
+// remaining tuples raw, and Batch=1 turns each routed tuple into its own
+// message, so worker 0's inbox saturates instantly and every scan side
+// spends the run blocked on a full channel. The run must still complete
+// (the merge sides consume from query start), and must do so correctly.
+func TestBackpressureCannotDeadlockA2P(t *testing.T) {
+	const (
+		workers  = 8
+		perGroup = 400
+		groups   = 32
+	)
+	// Keys whose partition hash lands on worker 0, so all traffic
+	// converges on one inbox.
+	keys := make([]tuple.Key, 0, groups)
+	for k := tuple.Key(0); len(keys) < groups; k++ {
+		if k.Dest(workers) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	parts := make([][]tuple.Tuple, workers)
+	want := map[tuple.Key]int64{}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perGroup*groups/workers; i++ {
+			k := keys[i%groups]
+			parts[w] = append(parts[w], tuple.Tuple{Key: k, Val: 1})
+			want[k]++
+		}
+	}
+
+	cfg := Config{Workers: workers, TableEntries: 4, Batch: 1}
+	done := make(chan *Result, 1)
+	go func() {
+		res, err := AggregatePartitioned(cfg, parts, AdaptiveTwoPhase)
+		if err != nil {
+			t.Error(err)
+			done <- nil
+			return
+		}
+		done <- res
+	}()
+
+	select {
+	case res := <-done:
+		if res == nil {
+			return
+		}
+		if res.Switched != workers {
+			t.Errorf("%d/%d workers switched; the bound should force all", res.Switched, workers)
+		}
+		if len(res.Groups) != groups {
+			t.Fatalf("got %d groups, want %d", len(res.Groups), groups)
+		}
+		for k, n := range want {
+			if got := res.Groups[k].Count; got != n {
+				t.Errorf("group %d count = %d, want %d", k, got, n)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("A-2P mass re-route deadlocked under backpressure")
+	}
+}

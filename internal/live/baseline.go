@@ -1,0 +1,66 @@
+package live
+
+import (
+	"sort"
+
+	"parallelagg/internal/tuple"
+)
+
+// mapTable is the builtin-map groupTable the engine used before
+// internal/aggtable existed. It is frozen here as the benchmark baseline
+// (BENCH_pr5 compares it against the open-addressing table on identical
+// workloads) and as a differential-testing oracle: the property tests run
+// both implementations over the same inputs and require identical results.
+type mapTable struct {
+	m     map[tuple.Key]tuple.AggState
+	bound int
+}
+
+func newMapTable(bound int) *mapTable {
+	return &mapTable{m: make(map[tuple.Key]tuple.AggState), bound: bound}
+}
+
+func (t *mapTable) Len() int { return len(t.m) }
+
+func (t *mapTable) UpdateRaw(tp tuple.Tuple) bool {
+	if s, ok := t.m[tp.Key]; ok {
+		s.Update(tp.Val)
+		t.m[tp.Key] = s
+		return true
+	}
+	if t.bound > 0 && len(t.m) >= t.bound {
+		return false
+	}
+	t.m[tp.Key] = tuple.NewState(tp.Val)
+	return true
+}
+
+func (t *mapTable) MergePartial(p tuple.Partial) bool {
+	if s, ok := t.m[p.Key]; ok {
+		s.Merge(p.State)
+		t.m[p.Key] = s
+		return true
+	}
+	if t.bound > 0 && len(t.m) >= t.bound {
+		return false
+	}
+	t.m[p.Key] = p.State
+	return true
+}
+
+func (t *mapTable) Drain() []tuple.Partial {
+	out := make([]tuple.Partial, 0, len(t.m))
+	for k, s := range t.m {
+		out = append(out, tuple.Partial{Key: k, State: s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	t.m = make(map[tuple.Key]tuple.AggState)
+	return out
+}
+
+func (t *mapTable) OccupancyPermille() int {
+	if t.bound > 0 {
+		return 1000 * len(t.m) / t.bound
+	}
+	return 0
+}

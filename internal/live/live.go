@@ -17,6 +17,12 @@
 // owns the groups hashing to the worker and consumes the exchange from the
 // moment the query starts (so bounded exchange channels provide
 // backpressure without deadlock).
+//
+// The data plane is allocation-free in steady state: worker tables are
+// internal/aggtable open-addressing tables (inline update, no per-tuple
+// map traffic), and exchange batches are sync.Pool-recycled — the merge
+// side returns each batch to the pool after folding it, so after warm-up
+// the scan sides append into recycled buffers instead of allocating.
 package live
 
 import (
@@ -26,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parallelagg/internal/aggtable"
 	"parallelagg/internal/obs"
 	"parallelagg/internal/trace"
 	"parallelagg/internal/tuple"
@@ -101,6 +108,13 @@ type Config struct {
 	SpillToDisk bool
 	SpillDir    string
 
+	// BaselineMapTables runs every worker table on the builtin-map
+	// implementation the engine used before internal/aggtable existed.
+	// It exists only as a benchmark baseline (BENCH_pr5) and a
+	// differential-testing oracle; the default open-addressing path is
+	// strictly faster. Results are identical either way.
+	BaselineMapTables bool
+
 	// Obs, when non-nil, receives per-worker counters (rows, routed
 	// tuples, partials, spills, groups, merge fan-in) and whole-run
 	// throughput after the aggregation completes.
@@ -134,6 +148,7 @@ type WorkerMetrics struct {
 	Spilled      int64 // tuples that left the bounded table (memory or disk)
 	GroupsOut    int64 // result groups this worker's merge side produced
 	FanIn        int64 // distinct scan sides that fed this worker's merge side
+	TableOcc     int64 // high-water table occupancy, permille (obs hook)
 	Switched     bool  // the adaptive switch fired
 }
 
@@ -144,11 +159,71 @@ type Result struct {
 	PerWorker []WorkerMetrics
 }
 
-// message is one exchange batch between workers.
+// groupTable is the bounded aggregation table a worker's scan and merge
+// sides fold into: the open-addressing internal/aggtable.Table by
+// default, or the builtin-map baseline under Config.BaselineMapTables.
+// Update/Merge return false when the key is absent and the table is at
+// its bound; Drain empties the table in ascending key order.
+type groupTable interface {
+	UpdateRaw(tuple.Tuple) bool
+	MergePartial(tuple.Partial) bool
+	Len() int
+	Drain() []tuple.Partial
+	OccupancyPermille() int
+}
+
+// tableFactory picks the groupTable implementation once per run.
+func (c Config) tableFactory() func(bound int) groupTable {
+	if c.BaselineMapTables {
+		return func(bound int) groupTable { return newMapTable(bound) }
+	}
+	return func(bound int) groupTable { return aggtable.New(bound) }
+}
+
+// rawBatch and partBatch are pooled exchange buffers. The holder structs
+// travel through the channels by pointer so the merge side can hand the
+// same allocation back to the pool after folding it.
+type rawBatch struct{ ts []tuple.Tuple }
+type partBatch struct{ ps []tuple.Partial }
+
+// exchangePools recycles exchange batches for one run. Pools are per-run,
+// not global, so every pooled buffer has exactly cfg.Batch capacity and
+// the allocations die with the run.
+type exchangePools struct {
+	raw  sync.Pool
+	part sync.Pool
+}
+
+func newExchangePools(batch int) *exchangePools {
+	return &exchangePools{
+		raw: sync.Pool{New: func() any {
+			return &rawBatch{ts: make([]tuple.Tuple, 0, batch)}
+		}},
+		part: sync.Pool{New: func() any {
+			return &partBatch{ps: make([]tuple.Partial, 0, batch)}
+		}},
+	}
+}
+
+func (p *exchangePools) getRaw() *rawBatch {
+	b := p.raw.Get().(*rawBatch)
+	b.ts = b.ts[:0]
+	return b
+}
+
+func (p *exchangePools) getPart() *partBatch {
+	b := p.part.Get().(*partBatch)
+	b.ps = b.ps[:0]
+	return b
+}
+
+// message is one exchange batch between workers. At most one of raw/part
+// is non-nil; the receiver owns the batch and must return it to the pool
+// once folded.
 type message struct {
 	src  int // sending worker, for merge fan-in accounting
-	raw  []tuple.Tuple
-	part []tuple.Partial
+	raw  *rawBatch
+	part *partBatch
 }
 
 // Aggregate runs alg over the tuples with cfg.Workers parallel workers and
@@ -175,10 +250,18 @@ func AggregatePartitioned(cfg Config, parts [][]tuple.Tuple, alg Algorithm) (*Re
 		return nil, fmt.Errorf("live: unknown algorithm %v", alg)
 	}
 
+	// Inbox capacity 2*w: every scan side can have one in-flight batch
+	// per destination (w total across all inboxes) plus one more being
+	// built, while the merge sides drain from the moment the query
+	// starts. A scan side blocked on a full inbox therefore always has a
+	// running consumer on the other end — its own merge side never stops
+	// consuming — so the A-2P mass re-route after a switch cannot
+	// deadlock; see TestBackpressureCannotDeadlockA2P.
 	inboxes := make([]chan message, w)
 	for i := range inboxes {
 		inboxes[i] = make(chan message, 2*w)
 	}
+	pools := newExchangePools(cfg.Batch)
 	var scanners sync.WaitGroup
 	scanners.Add(w)
 	go func() {
@@ -190,17 +273,19 @@ func AggregatePartitioned(cfg Config, parts [][]tuple.Tuple, alg Algorithm) (*Re
 		}
 	}()
 
-	results := make([]map[tuple.Key]tuple.AggState, w)
+	results := make([][]tuple.Partial, w)
 	metrics := make([]WorkerMetrics, w)
 	switched := make([]bool, w)
 	errs := make([]error, w)
 	var fallback atomic.Bool // ARep's broadcast "end-of-phase" flag
+	newTable := cfg.tableFactory()
 
 	start := time.Now()
 	var all sync.WaitGroup
 	for i := 0; i < w; i++ {
 		i := i
-		wk := &worker{id: i, cfg: cfg, alg: alg, inboxes: inboxes, fallback: &fallback, m: &metrics[i]}
+		wk := &worker{id: i, cfg: cfg, alg: alg, inboxes: inboxes,
+			fallback: &fallback, m: &metrics[i], pools: pools, newTable: newTable}
 		all.Add(2)
 		go func() {
 			defer all.Done()
@@ -231,11 +316,11 @@ func AggregatePartitioned(cfg Config, parts [][]tuple.Tuple, alg Algorithm) (*Re
 	}
 	merged := make(map[tuple.Key]tuple.AggState, total)
 	for wi, r := range results {
-		for k, s := range r {
-			if _, dup := merged[k]; dup {
-				return nil, fmt.Errorf("live: group %d produced by two workers (second: %d)", k, wi)
+		for _, pt := range r {
+			if _, dup := merged[pt.Key]; dup {
+				return nil, fmt.Errorf("live: group %d produced by two workers (second: %d)", pt.Key, wi)
 			}
-			merged[k] = s
+			merged[pt.Key] = pt.State
 		}
 	}
 	res := &Result{Groups: merged, PerWorker: metrics}
@@ -274,9 +359,11 @@ type worker struct {
 	inboxes  []chan message
 	fallback *atomic.Bool
 	m        *WorkerMetrics
+	pools    *exchangePools
+	newTable func(bound int) groupTable
 
-	outRaw  [][]tuple.Tuple
-	outPart [][]tuple.Partial
+	outRaw  []*rawBatch
+	outPart []*partBatch
 }
 
 type workerMode int
@@ -286,15 +373,22 @@ const (
 	modeRoute
 )
 
+// noteOcc records the table's high-water occupancy for the obs layer.
+func (wk *worker) noteOcc(tab groupTable) {
+	if occ := int64(tab.OccupancyPermille()); occ > wk.m.TableOcc {
+		wk.m.TableOcc = occ
+	}
+}
+
 // scanSide aggregates or routes this worker's partition, reporting whether
 // it switched strategy.
 func (wk *worker) scanSide(part []tuple.Tuple) (switchedOut bool, err error) {
 	w := wk.cfg.Workers
-	wk.outRaw = make([][]tuple.Tuple, w)
-	wk.outPart = make([][]tuple.Partial, w)
+	wk.outRaw = make([]*rawBatch, w)
+	wk.outPart = make([]*partBatch, w)
 
-	local := make(map[tuple.Key]tuple.AggState)
 	bound := wk.cfg.TableEntries
+	local := wk.newTable(bound)
 	mode := modeLocal
 	if wk.alg == Repartitioning || wk.alg == AdaptiveRepartitioning {
 		mode = modeRoute
@@ -341,36 +435,31 @@ func (wk *worker) scanSide(part []tuple.Tuple) (switchedOut bool, err error) {
 		}
 		switch mode {
 		case modeLocal:
-			if s, ok := local[t.Key]; ok {
-				s.Update(t.Val)
-				local[t.Key] = s
+			if local.UpdateRaw(t) {
 				continue
 			}
-			if bound > 0 && len(local) >= bound {
-				switch wk.alg {
-				case AdaptiveTwoPhase, AdaptiveRepartitioning:
-					// Flush the accumulated partials, free the memory,
-					// repartition from here on — the A-2P switch.
-					wk.flushPartials(local)
-					local = make(map[tuple.Key]tuple.AggState)
-					mode = modeRoute
-					switched = true
-					wk.route(t)
-				default:
-					// Plain 2P spools the overflow tuple.
-					wk.m.Spilled++
-					if spill == nil {
-						if spill, err = newSpillStore(wk.cfg); err != nil {
-							return switched, err
-						}
-					}
-					if err = spill.add(t); err != nil {
+			// Local table is full and this tuple starts a new group.
+			switch wk.alg {
+			case AdaptiveTwoPhase, AdaptiveRepartitioning:
+				// Flush the accumulated partials, free the memory,
+				// repartition from here on — the A-2P switch.
+				wk.noteOcc(local)
+				wk.flushPartials(local.Drain())
+				mode = modeRoute
+				switched = true
+				wk.route(t)
+			default:
+				// Plain 2P spools the overflow tuple.
+				wk.m.Spilled++
+				if spill == nil {
+					if spill, err = newSpillStore(wk.cfg); err != nil {
 						return switched, err
 					}
 				}
-				continue
+				if err = spill.add(t); err != nil {
+					return switched, err
+				}
 			}
-			local[t.Key] = tuple.NewState(t.Val)
 		case modeRoute:
 			wk.route(t)
 		}
@@ -378,27 +467,22 @@ func (wk *worker) scanSide(part []tuple.Tuple) (switchedOut bool, err error) {
 
 	// Drain the local table, then process the spill in bounded passes,
 	// exactly like the overflow-bucket loop of the paper.
-	wk.flushPartials(local)
+	wk.noteOcc(local)
+	wk.flushPartials(local.Drain())
 	for spill != nil && spill.len() > 0 {
 		var next spillStore
-		tab := make(map[tuple.Key]tuple.AggState)
+		tab := wk.newTable(bound)
 		err = spill.drain(func(t tuple.Tuple) error {
-			if s, ok := tab[t.Key]; ok {
-				s.Update(t.Val)
-				tab[t.Key] = s
+			if tab.UpdateRaw(t) {
 				return nil
 			}
-			if bound > 0 && len(tab) >= bound {
-				if next == nil {
-					var nerr error
-					if next, nerr = newSpillStore(wk.cfg); nerr != nil {
-						return nerr
-					}
+			if next == nil {
+				var nerr error
+				if next, nerr = newSpillStore(wk.cfg); nerr != nil {
+					return nerr
 				}
-				return next.add(t)
 			}
-			tab[t.Key] = tuple.NewState(t.Val)
-			return nil
+			return next.add(t)
 		})
 		spill.close()
 		spill = next
@@ -409,79 +493,94 @@ func (wk *worker) scanSide(part []tuple.Tuple) (switchedOut bool, err error) {
 			}
 			return switched, err
 		}
-		wk.flushPartials(tab)
+		wk.noteOcc(tab)
+		wk.flushPartials(tab.Drain())
 	}
 	wk.flushAll()
 	return switched, nil
 }
 
-// mergeSide folds everything routed to this worker into its final groups.
-// The merge table is allowed to exceed the bound only logically: overflow
-// entries go to a second pass, as the disk-backed bucket loop would.
-func (wk *worker) mergeSide(inbox <-chan message) map[tuple.Key]tuple.AggState {
+// mergeSide folds everything routed to this worker into its final groups,
+// returned in ascending key order. The merge table is allowed to exceed
+// the bound only logically: overflow entries go to a second pass, as the
+// disk-backed bucket loop would. Every folded batch goes back to the
+// exchange pool, which is what keeps the steady-state data plane
+// allocation-free.
+func (wk *worker) mergeSide(inbox <-chan message) []tuple.Partial {
 	bound := wk.cfg.TableEntries
-	global := make(map[tuple.Key]tuple.AggState)
+	global := wk.newTable(bound)
 	var overflow []tuple.Partial
-	absorb := func(pt tuple.Partial) {
-		if s, ok := global[pt.Key]; ok {
-			s.Merge(pt.State)
-			global[pt.Key] = s
-			return
-		}
-		if bound > 0 && len(global) >= bound {
-			overflow = append(overflow, pt)
-			return
-		}
-		global[pt.Key] = pt.State
-	}
-	srcs := make(map[int]struct{})
+	srcs := make([]bool, wk.cfg.Workers)
 	for m := range inbox {
-		srcs[m.src] = struct{}{}
-		for _, t := range m.raw {
-			absorb(tuple.Partial{Key: t.Key, State: tuple.NewState(t.Val)})
+		srcs[m.src] = true
+		if m.raw != nil {
+			for _, t := range m.raw.ts {
+				if !global.UpdateRaw(t) {
+					overflow = append(overflow, tuple.Partial{Key: t.Key, State: tuple.NewState(t.Val)})
+				}
+			}
+			wk.pools.raw.Put(m.raw)
 		}
-		for _, pt := range m.part {
-			absorb(pt)
+		if m.part != nil {
+			for _, pt := range m.part.ps {
+				if !global.MergePartial(pt) {
+					overflow = append(overflow, pt)
+				}
+			}
+			wk.pools.part.Put(m.part)
 		}
 	}
-	wk.m.FanIn = int64(len(srcs))
+	for _, fed := range srcs {
+		if fed {
+			wk.m.FanIn++
+		}
+	}
+	wk.noteOcc(global)
 	if len(overflow) == 0 {
-		return global
+		return global.Drain()
 	}
-	out := make(map[tuple.Key]tuple.AggState, len(global)+len(overflow))
-	for k, s := range global {
-		out[k] = s
+	// Second pass: fold the bounded table and its overflow into an
+	// unbounded table (the logical equivalent of the paper's bucket loop).
+	out := wk.newTable(0)
+	for _, pt := range global.Drain() {
+		out.MergePartial(pt)
 	}
 	for _, pt := range overflow {
-		if s, ok := out[pt.Key]; ok {
-			s.Merge(pt.State)
-			out[pt.Key] = s
-		} else {
-			out[pt.Key] = pt.State
-		}
+		out.MergePartial(pt)
 	}
-	return out
+	return out.Drain()
 }
 
 // route queues one raw tuple for the worker owning its group.
 func (wk *worker) route(t tuple.Tuple) {
 	wk.m.Routed++
 	d := t.Key.Dest(wk.cfg.Workers)
-	wk.outRaw[d] = append(wk.outRaw[d], t)
-	if len(wk.outRaw[d]) >= wk.cfg.Batch {
-		wk.inboxes[d] <- message{src: wk.id, raw: wk.outRaw[d]}
+	b := wk.outRaw[d]
+	if b == nil {
+		b = wk.pools.getRaw()
+		wk.outRaw[d] = b
+	}
+	b.ts = append(b.ts, t)
+	if len(b.ts) >= wk.cfg.Batch {
+		wk.inboxes[d] <- message{src: wk.id, raw: b}
 		wk.outRaw[d] = nil
 	}
 }
 
-// flushPartials partitions a drained table to its merge workers.
-func (wk *worker) flushPartials(tab map[tuple.Key]tuple.AggState) {
-	wk.m.PartialsSent += int64(len(tab))
-	for k, s := range tab {
-		d := k.Dest(wk.cfg.Workers)
-		wk.outPart[d] = append(wk.outPart[d], tuple.Partial{Key: k, State: s})
-		if len(wk.outPart[d]) >= wk.cfg.Batch {
-			wk.inboxes[d] <- message{src: wk.id, part: wk.outPart[d]}
+// flushPartials partitions a drained table's partials to their merge
+// workers. The input is consumed (it aliases nothing once sent).
+func (wk *worker) flushPartials(parts []tuple.Partial) {
+	wk.m.PartialsSent += int64(len(parts))
+	for _, pt := range parts {
+		d := pt.Key.Dest(wk.cfg.Workers)
+		b := wk.outPart[d]
+		if b == nil {
+			b = wk.pools.getPart()
+			wk.outPart[d] = b
+		}
+		b.ps = append(b.ps, pt)
+		if len(b.ps) >= wk.cfg.Batch {
+			wk.inboxes[d] <- message{src: wk.id, part: b}
 			wk.outPart[d] = nil
 		}
 	}
@@ -490,12 +589,20 @@ func (wk *worker) flushPartials(tab map[tuple.Key]tuple.AggState) {
 // flushAll sends every partially-filled batch.
 func (wk *worker) flushAll() {
 	for d := range wk.inboxes {
-		if len(wk.outRaw[d]) > 0 {
-			wk.inboxes[d] <- message{src: wk.id, raw: wk.outRaw[d]}
+		if b := wk.outRaw[d]; b != nil {
+			if len(b.ts) > 0 {
+				wk.inboxes[d] <- message{src: wk.id, raw: b}
+			} else {
+				wk.pools.raw.Put(b)
+			}
 			wk.outRaw[d] = nil
 		}
-		if len(wk.outPart[d]) > 0 {
-			wk.inboxes[d] <- message{src: wk.id, part: wk.outPart[d]}
+		if b := wk.outPart[d]; b != nil {
+			if len(b.ps) > 0 {
+				wk.inboxes[d] <- message{src: wk.id, part: b}
+			} else {
+				wk.pools.part.Put(b)
+			}
 			wk.outPart[d] = nil
 		}
 	}

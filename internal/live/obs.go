@@ -20,6 +20,7 @@ func publishObs(r *obs.Registry, metrics []WorkerMetrics, elapsed time.Duration)
 	groups := r.CounterVec("live_groups_total", "result groups produced by each merge side", "worker")
 	fanIn := r.GaugeVec("live_merge_fan_in", "distinct scan sides that fed each merge side", "worker")
 	switches := r.CounterVec("live_switch_total", "adaptive strategy switches fired", "worker")
+	occ := r.GaugeVec("live_table_occupancy_permille", "high-water fill of each worker's aggregation table per 1000", "worker")
 
 	var rows int64
 	for i := range metrics {
@@ -31,6 +32,7 @@ func publishObs(r *obs.Registry, metrics []WorkerMetrics, elapsed time.Duration)
 		spilled.With(w).Add(m.Spilled)
 		groups.With(w).Add(m.GroupsOut)
 		fanIn.With(w).Set(m.FanIn)
+		occ.With(w).Set(m.TableOcc)
 		if m.Switched {
 			switches.With(w).Inc()
 		}

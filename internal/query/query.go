@@ -286,8 +286,12 @@ func Execute(t *Table, q Query, cfg live.Config, alg live.Algorithm) (*Result, e
 
 	// One engine pass per distinct aggregated column, plus a row-count
 	// pass whenever COUNT(*) is requested or no column pass exists (pure
-	// duplicate elimination).
-	colState := map[int]map[tuple.Key]tuple.AggState{}
+	// duplicate elimination). Group keys are dense dictionary indices
+	// (0..G-1), so each pass's result is merged into a flat slice indexed
+	// by key instead of a second map — the per-group lookup during result
+	// assembly is then an array access.
+	G := len(dict.back)
+	colState := map[int]passState{}
 	needRowCount := len(q.Aggs) == 0
 	for _, a := range q.Aggs {
 		if a.Func == CountStar {
@@ -297,12 +301,12 @@ func Execute(t *Table, q Query, cfg live.Config, alg live.Algorithm) (*Result, e
 		if a.Distinct {
 			continue // DISTINCT aggregates run their own pass below
 		}
-		colState[t.Schema.Index(a.Col)] = nil
+		colState[t.Schema.Index(a.Col)] = passState{}
 	}
 	if len(colState) == 0 {
 		needRowCount = true
 	}
-	runPass := func(col int) (map[tuple.Key]tuple.AggState, error) {
+	runPass := func(col int) (passState, error) {
 		in := make([]tuple.Tuple, 0, len(enc))
 		for _, er := range enc {
 			v := int64(0)
@@ -317,9 +321,14 @@ func Execute(t *Table, q Query, cfg live.Config, alg live.Algorithm) (*Result, e
 		}
 		res, err := live.Aggregate(cfg, in, alg)
 		if err != nil {
-			return nil, err
+			return passState{}, err
 		}
-		return res.Groups, nil
+		ps := passState{st: make([]tuple.AggState, G), ok: make([]bool, G)}
+		for k, s := range res.Groups {
+			ps.st[k] = s
+			ps.ok[k] = true
+		}
+		return ps, nil
 	}
 	for col := range colState {
 		st, err := runPass(col)
@@ -328,7 +337,7 @@ func Execute(t *Table, q Query, cfg live.Config, alg live.Algorithm) (*Result, e
 		}
 		colState[col] = st
 	}
-	var rowCount map[tuple.Key]tuple.AggState
+	var rowCount passState
 	if needRowCount {
 		st, err := runPass(-1)
 		if err != nil {
@@ -340,9 +349,9 @@ func Execute(t *Table, q Query, cfg live.Config, alg live.Algorithm) (*Result, e
 	// DISTINCT passes: deduplicate (group, value) pairs through the
 	// engine — parallel duplicate elimination, the paper's other use case
 	// — then fold one representative per pair back into per-group counts
-	// and sums.
-	type distinctAgg struct{ count, sum int64 }
-	distinctState := map[int]map[tuple.Key]distinctAgg{}
+	// and sums, again in flat slices indexed by the dense group key
+	// (count == 0 marks a group whose column was entirely NULL).
+	distinctState := map[int][]distinctAgg{}
 	for _, a := range q.Aggs {
 		if !a.Distinct {
 			continue
@@ -375,22 +384,13 @@ func Execute(t *Table, q Query, cfg live.Config, alg live.Algorithm) (*Result, e
 		if err != nil {
 			return nil, err
 		}
-		st := map[tuple.Key]distinctAgg{}
+		st := make([]distinctAgg, G)
 		for ck := range dres.Groups {
 			g := backGroup[ck]
-			da := st[g]
-			da.count++
-			da.sum += backVal[ck]
-			st[g] = da
+			st[g].count++
+			st[g].sum += backVal[ck]
 		}
 		distinctState[col] = st
-	}
-
-	// Union of groups across passes (a group whose aggregated column is
-	// entirely NULL still exists).
-	groupSet := map[tuple.Key]struct{}{}
-	for _, er := range enc {
-		groupSet[er.key] = struct{}{}
 	}
 
 	// Result schema: group-by columns, then aggregates.
@@ -402,9 +402,12 @@ func Execute(t *Table, q Query, cfg live.Config, alg live.Algorithm) (*Result, e
 		out.Schema.Cols = append(out.Schema.Cols, Column{Name: a.outName(), Type: Int64})
 	}
 
-	keys := make([]tuple.Key, 0, len(groupSet))
-	for k := range groupSet {
-		keys = append(keys, k)
+	// Every dictionary entry was minted by a surviving input row, so the
+	// dense key space 0..G-1 IS the union of groups across passes (a
+	// group whose aggregated column is entirely NULL still exists).
+	keys := make([]tuple.Key, 0, G)
+	for k := 0; k < G; k++ {
+		keys = append(keys, tuple.Key(k))
 	}
 	sort.Slice(keys, func(i, j int) bool {
 		return lessRow(dict.back[keys[i]], dict.back[keys[j]])
@@ -414,11 +417,11 @@ func Execute(t *Table, q Query, cfg live.Config, alg live.Algorithm) (*Result, e
 		row := append(Row(nil), dict.back[k]...)
 		for _, a := range q.Aggs {
 			if a.Distinct {
-				da, ok := distinctState[t.Schema.Index(a.Col)][k]
+				da := distinctState[t.Schema.Index(a.Col)][k]
 				switch {
 				case a.Func == Count:
 					row = append(row, IntVal(da.count))
-				case !ok:
+				case da.count == 0:
 					row = append(row, NullValue) // SUM of all-NULL column
 				default:
 					row = append(row, IntVal(da.sum))
@@ -457,15 +460,33 @@ func Execute(t *Table, q Query, cfg live.Config, alg live.Algorithm) (*Result, e
 	return out, nil
 }
 
+// passState is one engine pass's result, flattened onto the dense group
+// key space: st[k] is group k's aggregate state, valid when ok[k].
+type passState struct {
+	st []tuple.AggState
+	ok []bool
+}
+
+func (p passState) get(k tuple.Key) (tuple.AggState, bool) {
+	if p.ok == nil || !p.ok[k] {
+		return tuple.AggState{}, false
+	}
+	return p.st[k], true
+}
+
+// distinctAgg folds the deduplicated (group, value) pairs of one DISTINCT
+// pass back into a per-group count and sum.
+type distinctAgg struct{ count, sum int64 }
+
 // evalAgg produces one aggregate cell for group k.
-func evalAgg(a Agg, k tuple.Key, s Schema, colState map[int]map[tuple.Key]tuple.AggState, rowCount map[tuple.Key]tuple.AggState) Value {
+func evalAgg(a Agg, k tuple.Key, s Schema, colState map[int]passState, rowCount passState) Value {
 	if a.Func == CountStar {
-		if st, ok := rowCount[k]; ok {
+		if st, ok := rowCount.get(k); ok {
 			return IntVal(st.Count)
 		}
 		return IntVal(0)
 	}
-	st, ok := colState[s.Index(a.Col)][k]
+	st, ok := colState[s.Index(a.Col)].get(k)
 	if !ok {
 		if a.Func == Count {
 			return IntVal(0) // COUNT of an all-NULL column is 0, not NULL
