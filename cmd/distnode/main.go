@@ -19,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -34,6 +35,7 @@ import (
 	"parallelagg/internal/faultnet"
 	"parallelagg/internal/obs"
 	"parallelagg/internal/trace"
+	"parallelagg/internal/tuple"
 )
 
 var algByName = map[string]dist.Algorithm{
@@ -47,6 +49,82 @@ var algByName = map[string]dist.Algorithm{
 // bound address once the endpoint is serving. Tests hook it to learn
 // the port behind -metrics-addr 127.0.0.1:0.
 var metricsReady func(addr string)
+
+// Exit codes. 0 is success and 2 a usage error, per convention; local
+// (non-protocol) failures keep the generic 1. Protocol failures get a
+// distinct code per phase so orchestrators and chaos harnesses can
+// tell a refused dial from a mid-merge peer loss without parsing text.
+const (
+	exitOK        = 0
+	exitLocal     = 1
+	exitUsage     = 2
+	exitDial      = 10
+	exitHello     = 11
+	exitAccept    = 12
+	exitRead      = 13
+	exitWrite     = 14
+	exitMerge     = 15
+	exitHeartbeat = 16
+	exitEvicted   = 17
+)
+
+// exitCode maps a RunNode error to its exit code. Eviction wins over
+// the phase it was reported in: a node voted out of the cluster is a
+// different operational event from a node that saw a peer fail.
+func exitCode(err error) int {
+	if errors.Is(err, dist.ErrEvicted) {
+		return exitEvicted
+	}
+	var ne *dist.NodeError
+	if !errors.As(err, &ne) {
+		return exitLocal
+	}
+	switch ne.Phase {
+	case dist.PhaseDial:
+		return exitDial
+	case dist.PhaseHello:
+		return exitHello
+	case dist.PhaseAccept:
+		return exitAccept
+	case dist.PhaseRead:
+		return exitRead
+	case dist.PhaseWrite:
+		return exitWrite
+	case dist.PhaseMerge:
+		return exitMerge
+	case dist.PhaseHeartbeat:
+		return exitHeartbeat
+	}
+	return exitLocal
+}
+
+// errorRecord is the machine-readable failure report emitted on stderr
+// under -json-errors: one line, one JSON object, then exit.
+type errorRecord struct {
+	Node    int    `json:"node"`
+	Peer    int    `json:"peer"`
+	Phase   string `json:"phase"`
+	Err     string `json:"err"`
+	Evicted bool   `json:"evicted"`
+}
+
+func reportError(stderr io.Writer, jsonErrors bool, node int, err error) {
+	var ne *dist.NodeError
+	if jsonErrors {
+		rec := errorRecord{Node: node, Peer: -1, Err: err.Error(), Evicted: errors.Is(err, dist.ErrEvicted)}
+		if errors.As(err, &ne) {
+			rec.Peer = ne.Peer
+			rec.Phase = string(ne.Phase)
+		}
+		json.NewEncoder(stderr).Encode(rec)
+		return
+	}
+	if errors.As(err, &ne) {
+		fmt.Fprintf(stderr, "distnode: peer failure in phase %q (peer %d): %v\n", ne.Phase, ne.Peer, err)
+	} else {
+		fmt.Fprintf(stderr, "distnode: %v\n", err)
+	}
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -68,6 +146,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dialTimeout = fs.Duration("dial-timeout", 5*time.Second, "cluster formation budget (dial retries with backoff + accepts)")
 		ioTimeout   = fs.Duration("io-timeout", 30*time.Second, "per-frame read/write deadline; a peer silent longer is failed")
 		chaos       = fs.String("chaos", "", "fault-injection spec, e.g. latency=2ms,jitter=1ms,reset=0.01,hang=0.01,acceptfail=0.1,seed=42")
+
+		tolerate   = fs.Bool("tolerate", false, "survive peer failures: node 0 supervises liveness and reassigns dead peers' partitions")
+		heartbeat  = fs.Duration("heartbeat", 0, "liveness beacon interval in tolerant mode (0 = default 250ms)")
+		speculate  = fs.Int("speculate", 0, "straggler factor k: re-ship a peer lagging k x behind the median (0 disables)")
+		jsonErrors = fs.Bool("json-errors", false, "report failures as one JSON object per line on stderr")
 
 		metricsAddr   = fs.String("metrics-addr", "", "serve Prometheus text (/metrics), JSON (/metrics.json) and pprof on this address; empty disables")
 		metricsLinger = fs.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the query completes")
@@ -93,12 +176,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := dist.Config{
-		ID:           *id,
-		Addrs:        list,
-		Algorithm:    alg,
-		TableEntries: *mem,
-		DialTimeout:  *dialTimeout,
-		IOTimeout:    *ioTimeout,
+		ID:              *id,
+		Addrs:           list,
+		Algorithm:       alg,
+		TableEntries:    *mem,
+		DialTimeout:     *dialTimeout,
+		IOTimeout:       *ioTimeout,
+		Tolerate:        *tolerate,
+		HeartbeatEvery:  *heartbeat,
+		SpeculateFactor: *speculate,
 	}
 	if *chaos != "" {
 		fc, err := faultnet.ParseSpec(*chaos)
@@ -136,28 +222,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// Every node generates the same relation and takes its partition.
 	rel := parallelagg.Uniform(len(list), *tuples, *groups, *seed)
+	if *tolerate {
+		// Recovery needs any node's partition, not just ours: a survivor
+		// re-executes a dead peer's scan from the shared-seed generator.
+		cfg.PartitionSource = func(node int) []tuple.Tuple {
+			if node < 0 || node >= len(rel.PerNode) {
+				return nil
+			}
+			return rel.PerNode[node]
+		}
+	}
 
 	ln, err := net.Listen("tcp", list[*id])
 	if err != nil {
-		fmt.Fprintf(stderr, "distnode: %v\n", err)
-		return 1
+		reportError(stderr, *jsonErrors, *id, err)
+		return exitLocal
 	}
 	fmt.Fprintf(stdout, "node %d listening on %s, %d tuples, algorithm %v\n",
 		*id, list[*id], len(rel.PerNode[*id]), alg)
 
 	res, err := dist.RunNode(ln, cfg, rel.PerNode[*id])
 	if err != nil {
-		var ne *dist.NodeError
-		if errors.As(err, &ne) {
-			fmt.Fprintf(stderr, "distnode: peer failure in phase %q (peer %d): %v\n", ne.Phase, ne.Peer, err)
-		} else {
-			fmt.Fprintf(stderr, "distnode: %v\n", err)
-		}
-		return 1
+		reportError(stderr, *jsonErrors, *id, err)
+		return exitCode(err)
 	}
 	fmt.Fprintf(stdout, "node %d done in %v: owns %d groups", *id, time.Since(start).Round(time.Millisecond), len(res.Groups))
 	if res.Switched {
 		fmt.Fprintf(stdout, " (switched to repartitioning mid-query)")
+	}
+	if len(res.DeadPeers) > 0 {
+		fmt.Fprintf(stdout, " (survived dead peers %v)", res.DeadPeers)
 	}
 	fmt.Fprintln(stdout)
 

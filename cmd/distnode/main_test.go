@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -10,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"parallelagg/internal/dist"
 )
 
 // freeAddrs reserves n distinct loopback ports by listening and
@@ -183,6 +188,117 @@ func TestThreeNodeScrape(t *testing.T) {
 		if c != 0 {
 			t.Errorf("node %d exited with code %d", i, c)
 		}
+	}
+}
+
+// TestExitCodeMapping pins the phase -> exit-code contract that
+// orchestrators depend on. Eviction wins over its carrier phase.
+func TestExitCodeMapping(t *testing.T) {
+	mk := func(p dist.Phase, err error) error {
+		return &dist.NodeError{NodeID: 1, Peer: 2, Phase: p, Err: err}
+	}
+	plain := errors.New("boom")
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{plain, exitLocal},
+		{mk(dist.PhaseDial, plain), exitDial},
+		{mk(dist.PhaseHello, plain), exitHello},
+		{mk(dist.PhaseAccept, plain), exitAccept},
+		{mk(dist.PhaseRead, plain), exitRead},
+		{mk(dist.PhaseWrite, plain), exitWrite},
+		{mk(dist.PhaseMerge, plain), exitMerge},
+		{mk(dist.PhaseHeartbeat, plain), exitHeartbeat},
+		{mk(dist.PhaseHeartbeat, dist.ErrEvicted), exitEvicted},
+		{dist.ErrEvicted, exitEvicted},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("exitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestJSONErrorsOnDialFailure runs a node against a cluster that never
+// forms and checks both the dial exit code and the one-line JSON error
+// record on stderr.
+func TestJSONErrorsOnDialFailure(t *testing.T) {
+	addrs := freeAddrs(t, 2) // peer 1 never starts
+	var stderr bytes.Buffer
+	code := run([]string{
+		"-id", "0",
+		"-addrs", strings.Join(addrs, ","),
+		"-tuples", "100", "-groups", "10",
+		"-dial-timeout", "300ms",
+		"-io-timeout", "1s",
+		"-json-errors",
+	}, io.Discard, &stderr)
+	if code != exitDial {
+		t.Fatalf("exit code %d, want %d (dial)\nstderr: %s", code, exitDial, stderr.String())
+	}
+	line := strings.TrimSpace(stderr.String())
+	if strings.ContainsRune(line, '\n') {
+		t.Fatalf("want exactly one JSON line, got %q", line)
+	}
+	var rec errorRecord
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("stderr is not JSON: %v\n%q", err, line)
+	}
+	if rec.Node != 0 || rec.Phase != string(dist.PhaseDial) || rec.Err == "" || rec.Evicted {
+		t.Errorf("record = %+v", rec)
+	}
+	if rec.Peer != 1 {
+		t.Errorf("record blames peer %d, want 1", rec.Peer)
+	}
+}
+
+// TestTolerantCLISurvivesCrash runs a 3-node cluster through the real
+// command-line entry point with -tolerate, crashing node 2 via the
+// -chaos spec. The survivors must finish with exit 0 and report the
+// dead peer; the victim must exit with a non-zero protocol code.
+func TestTolerantCLISurvivesCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node TCP test")
+	}
+	addrs := freeAddrs(t, 3)
+	common := []string{
+		"-addrs", strings.Join(addrs, ","),
+		"-alg", "2p",
+		"-tuples", "8000",
+		"-groups", "500",
+		"-seed", "11",
+		"-tolerate",
+		"-heartbeat", "40ms",
+		"-dial-timeout", "5s",
+		"-io-timeout", "800ms",
+	}
+	var wg sync.WaitGroup
+	codes := make([]int, 3)
+	outs := make([]bytes.Buffer, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			args := append([]string{"-id", fmt.Sprint(i)}, common...)
+			if i == 2 {
+				args = append(args, "-chaos", "killwrites=3", "-json-errors")
+			}
+			codes[i] = run(args, &outs[i], &outs[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < 2; i++ {
+		if codes[i] != exitOK {
+			t.Errorf("survivor %d exited %d\n%s", i, codes[i], outs[i].String())
+		}
+		if !strings.Contains(outs[i].String(), "survived dead peers [2]") {
+			t.Errorf("survivor %d did not report the dead peer:\n%s", i, outs[i].String())
+		}
+	}
+	if codes[2] == exitOK || codes[2] == exitUsage {
+		t.Errorf("victim exited %d, want a protocol failure code", codes[2])
 	}
 }
 

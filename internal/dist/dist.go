@@ -122,6 +122,37 @@ type Config struct {
 	// and therefore also by the in-process Run/RunConfigured launchers.
 	WrapListener func(net.Listener) net.Listener
 
+	// Tolerate enables the fault-tolerant protocol (DESIGN.md §11): node
+	// 0 supervises per-peer liveness via heartbeat frames, a crashed,
+	// hung, or partitioned peer's duties are reassigned to a survivor
+	// under a fresh epoch, and the merge side discards stale frames so
+	// every tuple folds exactly once. False (the default) preserves the
+	// fail-fast semantics exactly: the first peer fault aborts the query
+	// with a *NodeError.
+	Tolerate bool
+
+	// PartitionSource returns any node's input partition so a surviving
+	// peer can re-execute a lost one. Required when Tolerate is set.
+	// RunConfigured fills it from the in-memory partitions; cmd/distnode
+	// uses the deterministic generator (every node can regenerate every
+	// partition from the shared seed).
+	PartitionSource func(node int) []tuple.Tuple
+
+	// HeartbeatEvery is the liveness beacon interval in tolerant mode
+	// (default 250ms). SuspectAfter and DeadAfter are the staleness
+	// thresholds at which the supervisor classifies a peer suspect
+	// (default 4×HeartbeatEvery) and dead (default 10×HeartbeatEvery).
+	HeartbeatEvery time.Duration
+	SuspectAfter   time.Duration
+	DeadAfter      time.Duration
+
+	// SpeculateFactor k enables straggler mitigation in tolerant mode: a
+	// peer whose scan progress lags more than k× behind the live median
+	// (once the median passes 80%) has its partition speculatively
+	// re-executed on a survivor; the first complete attempt wins at each
+	// receiver. 0 (default) disables speculation.
+	SpeculateFactor int
+
 	// Obs, when non-nil, receives wire-level metrics: frames and bytes
 	// per peer, dial retries and backoff time, deadline hits, hash-table
 	// occupancy and adaptive switches. Safe to share one registry across
@@ -150,6 +181,15 @@ func (c Config) withDefaults() Config {
 	if c.SwitchRatio <= 0 {
 		c.SwitchRatio = 0.1
 	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 4 * c.HeartbeatEvery
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 10 * c.HeartbeatEvery
+	}
 	return c
 }
 
@@ -162,6 +202,13 @@ type NodeResult struct {
 	// are the distributed analogue of the simulator's network metrics.
 	RawSent      int64
 	PartialsSent int64
+
+	// Tolerant-mode extras: Ranges lists the merge ranges this node ended
+	// up owning (its own, plus any taken over from dead peers), and
+	// DeadPeers the nodes declared dead during the run. In fail-fast mode
+	// Ranges is nil and Groups covers exactly the node's own range.
+	Ranges    []int
+	DeadPeers []int
 }
 
 // connTracker collects every live connection so cancellation can close
@@ -222,6 +269,13 @@ func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, erro
 	}
 	if cfg.WrapListener != nil {
 		ln = cfg.WrapListener(ln)
+	}
+	if cfg.Tolerate {
+		if cfg.PartitionSource == nil {
+			ln.Close()
+			return nil, fmt.Errorf("dist: Tolerate requires PartitionSource (recovery must be able to re-execute a lost partition)")
+		}
+		return runNodeTolerant(ln, cfg, part)
 	}
 	m := newMetrics(cfg.Obs, cfg.ID)
 
@@ -454,7 +508,8 @@ func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, erro
 		}
 	}
 	if misrouted {
-		return nil, fmt.Errorf("dist: node %d received group %d owned by node %d", cfg.ID, badKey, badKey.Dest(n))
+		return nil, nodeErr(cfg.ID, badKey.Dest(n), PhaseMerge,
+			fmt.Errorf("received group %d owned by node %d", badKey, badKey.Dest(n)))
 	}
 	res.Groups = merged
 	res.Switched = switched
@@ -669,7 +724,8 @@ func scanAndShip(cfg Config, part []tuple.Tuple, peers []*peer, fallback *atomic
 // ClusterResult is the combined outcome of an in-process cluster run.
 type ClusterResult struct {
 	Groups   map[tuple.Key]tuple.AggState
-	Switched int // nodes that changed strategy mid-query
+	Switched int   // nodes that changed strategy mid-query
+	Dead     []int // nodes declared dead during a tolerant run
 }
 
 // Run launches an n-node cluster on loopback TCP inside this process, one
@@ -703,6 +759,14 @@ func RunConfigured(parts [][]tuple.Tuple, template Config) (*ClusterResult, erro
 		listeners[i] = ln
 		addrs[i] = ln.Addr().String()
 	}
+	if template.Tolerate && template.PartitionSource == nil {
+		template.PartitionSource = func(node int) []tuple.Tuple {
+			if node < 0 || node >= len(parts) {
+				return nil
+			}
+			return parts[node]
+		}
+	}
 	results := make([]*NodeResult, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -718,18 +782,48 @@ func RunConfigured(parts [][]tuple.Tuple, template Config) (*ClusterResult, erro
 		}()
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("dist: node %d: %w", i, err)
+	out := &ClusterResult{Groups: make(map[tuple.Key]tuple.AggState)}
+	if template.Tolerate {
+		// Tolerant combine: the supervisor (node 0) is the authority on who
+		// died. Its result must exist; errors from dead-declared nodes are
+		// expected (killed, evicted, or aborted mid-fault) and their duties
+		// live on in a survivor's Groups. Every node NOT declared dead must
+		// still succeed.
+		if errs[0] != nil {
+			return nil, fmt.Errorf("dist: node 0: %w", errs[0])
+		}
+		dead := make(map[int]bool)
+		for _, d := range results[0].DeadPeers {
+			dead[d] = true
+			out.Dead = append(out.Dead, d)
+		}
+		for i, err := range errs {
+			if err != nil && !dead[i] {
+				return nil, fmt.Errorf("dist: node %d: %w", i, err)
+			}
+		}
+		results = results[:n]
+		for i := range results {
+			if dead[i] {
+				results[i] = nil
+			}
+		}
+	} else {
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("dist: node %d: %w", i, err)
+			}
 		}
 	}
-	out := &ClusterResult{Groups: make(map[tuple.Key]tuple.AggState)}
 	// Track the smallest duplicated key so a multi-duplicate bug reports
 	// the same group on every run.
 	dupFound := false
 	var dupKey tuple.Key
 	dupNode := -1
 	for i, r := range results {
+		if r == nil {
+			continue
+		}
 		if r.Switched {
 			out.Switched++
 		}

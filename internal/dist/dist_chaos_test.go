@@ -429,4 +429,24 @@ func TestNodeErrorFormatting(t *testing.T) {
 	if !isTemporary(faultnet.ErrInjectedAcceptFailure) {
 		t.Error("injected accept failure not temporary")
 	}
+	// The tolerant-mode phases format like the formation ones.
+	merge := &NodeError{NodeID: 0, Peer: 3, Phase: PhaseMerge, Err: cause}
+	if !strings.Contains(merge.Error(), "merge peer 3") {
+		t.Errorf("merge error = %q", merge.Error())
+	}
+	hb := nodeErr(4, 0, PhaseHeartbeat, ErrEvicted)
+	if !strings.Contains(hb.Error(), "heartbeat") || !strings.Contains(hb.Error(), "evicted") {
+		t.Errorf("eviction error = %q", hb.Error())
+	}
+	if !errors.Is(hb, ErrEvicted) {
+		t.Error("eviction error does not unwrap to ErrEvicted")
+	}
+	var ne *NodeError
+	if !errors.As(hb, &ne) || ne.Phase != PhaseHeartbeat {
+		t.Errorf("eviction error does not recover as *NodeError: %v", hb)
+	}
+	// An injected crash is permanent, never a retryable accept hiccup.
+	if isTemporary(faultnet.ErrInjectedCrash) {
+		t.Error("injected crash reported temporary")
+	}
 }

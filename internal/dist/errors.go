@@ -16,7 +16,21 @@ const (
 	PhaseAccept Phase = "accept"
 	PhaseRead   Phase = "read"
 	PhaseWrite  Phase = "write"
+	// PhaseMerge marks a failure while folding received frames into the
+	// final table — e.g. a misrouted group, which previously surfaced as
+	// a bare fmt.Errorf and blurred into the read path.
+	PhaseMerge Phase = "merge"
+	// PhaseHeartbeat marks a liveness-protocol failure in tolerant mode:
+	// the supervisor became unreachable, or this node found itself
+	// isolated from every peer.
+	PhaseHeartbeat Phase = "heartbeat"
 )
+
+// ErrEvicted is returned by RunNode (wrapped in a *NodeError, phase
+// heartbeat) when the query supervisor declared this node dead and
+// reassigned its duties. A node slandered by a one-way partition exits
+// with this instead of shipping frames the cluster will discard.
+var ErrEvicted = errors.New("dist: evicted by supervisor")
 
 // NodeError is the structured error RunNode returns for any peer-related
 // failure: which node observed it, which peer was involved (-1 when the

@@ -32,6 +32,17 @@ type metrics struct {
 
 	hashOcc  *obs.Gauge
 	switches *obs.CounterVec // {node, to}
+
+	// Recovery instruments (tolerant mode; dist_recover_*).
+	heartbeats    *obs.Counter    // {node} heartbeat frames sent
+	suspicions    *obs.CounterVec // {node, peer} peers classified suspect
+	deaths        *obs.CounterVec // {node, peer} peers declared dead
+	reassigns     *obs.CounterVec // {node, partition, kind=dead|speculative}
+	staleFrames   *obs.Counter    // {node} zombie/loser frames discarded
+	reships       *obs.Counter    // {node} records re-shipped by recovery jobs
+	downgrades    *obs.Counter    // {node} bounded-table downgrades during recovery
+	recoverNs     *obs.Gauge      // {node} worst death->all-done latency (supervisor)
+	streamcommits *obs.CounterVec // {node, epoch0=primary|recovery}
 }
 
 // newMetrics binds the dist metric families for node id. Returns nil
@@ -61,6 +72,24 @@ func newMetrics(r *obs.Registry, id int) *metrics {
 			"high-water fill of the local hash table per 1000 entries", "node").With(node),
 		switches: r.CounterVec("dist_phase_switch_total",
 			"adaptive strategy switches fired", "node", "to"),
+		heartbeats: r.CounterVec("dist_recover_heartbeats_total",
+			"liveness heartbeat frames sent", "node").With(node),
+		suspicions: r.CounterVec("dist_recover_suspicions_total",
+			"peers classified suspect by the supervisor", "node", "peer"),
+		deaths: r.CounterVec("dist_recover_deaths_total",
+			"peers declared dead by the supervisor", "node", "peer"),
+		reassigns: r.CounterVec("dist_recover_reassign_total",
+			"partition reassignments broadcast or applied", "node", "partition", "kind"),
+		staleFrames: r.CounterVec("dist_recover_stale_frames_total",
+			"zombie or speculative-loser frames discarded by the merge side", "node").With(node),
+		reships: r.CounterVec("dist_recover_reships_total",
+			"records re-shipped by recovery re-scan/re-extract jobs", "node").With(node),
+		downgrades: r.CounterVec("dist_recover_downgrades_total",
+			"bounded-table refusals downgraded to raw shipping during recovery", "node").With(node),
+		recoverNs: r.GaugeVec("dist_recover_latency_ns",
+			"worst-case latency from a death declaration to cluster completion", "node").With(node),
+		streamcommits: r.CounterVec("dist_recover_stream_commits_total",
+			"complete (origin, epoch) streams folded into the final table", "node", "attempt"),
 	}
 }
 
@@ -77,6 +106,18 @@ func kindName(kind byte) string {
 		return "eos"
 	case frameEOP:
 		return "eop"
+	case frameHeartbeat:
+		return "heartbeat"
+	case frameSuspect:
+		return "suspect"
+	case frameAssign:
+		return "assign"
+	case frameEvict:
+		return "evict"
+	case frameDone:
+		return "done"
+	case frameFinish:
+		return "finish"
 	default:
 		return "unknown"
 	}
@@ -112,6 +153,110 @@ func (m *metrics) recv(peer int, kind byte, count int) {
 	p := strconv.Itoa(peer)
 	m.framesRecv.With(m.node, p, kindName(kind)).Inc()
 	m.bytesRecv.With(m.node, p).Add(frameBytes(kind, count))
+}
+
+// tFrameBytes is the wire size of a tolerant-mode frame: the 12-byte
+// tagged header plus records (hello stays 4 bytes).
+func tFrameBytes(kind byte, count int) int64 {
+	switch kind {
+	case frameHello:
+		return 4
+	case frameRaw:
+		return tHeaderSize + int64(count)*tuple.RawSize
+	case framePartial:
+		return tHeaderSize + int64(count)*tuple.PartialSize
+	default:
+		return tHeaderSize
+	}
+}
+
+func (m *metrics) tsent(peer int, kind byte, count int) {
+	if m == nil {
+		return
+	}
+	p := strconv.Itoa(peer)
+	m.framesSent.With(m.node, p, kindName(kind)).Inc()
+	m.bytesSent.With(m.node, p).Add(tFrameBytes(kind, count))
+}
+
+func (m *metrics) trecv(peer int, kind byte, count int) {
+	if m == nil {
+		return
+	}
+	p := strconv.Itoa(peer)
+	m.framesRecv.With(m.node, p, kindName(kind)).Inc()
+	m.bytesRecv.With(m.node, p).Add(tFrameBytes(kind, count))
+}
+
+func (m *metrics) heartbeat() {
+	if m == nil {
+		return
+	}
+	m.heartbeats.Inc()
+}
+
+func (m *metrics) suspicion(peer int) {
+	if m == nil {
+		return
+	}
+	m.suspicions.With(m.node, strconv.Itoa(peer)).Inc()
+}
+
+func (m *metrics) death(peer int) {
+	if m == nil {
+		return
+	}
+	m.deaths.With(m.node, strconv.Itoa(peer)).Inc()
+}
+
+func (m *metrics) reassign(partition int, dead bool) {
+	if m == nil {
+		return
+	}
+	kind := "speculative"
+	if dead {
+		kind = "dead"
+	}
+	m.reassigns.With(m.node, strconv.Itoa(partition), kind).Inc()
+}
+
+func (m *metrics) stale(frames int64) {
+	if m == nil || frames <= 0 {
+		return
+	}
+	m.staleFrames.Add(frames)
+}
+
+func (m *metrics) reship(records int64) {
+	if m == nil || records <= 0 {
+		return
+	}
+	m.reships.Add(records)
+}
+
+func (m *metrics) downgrade() {
+	if m == nil {
+		return
+	}
+	m.downgrades.Inc()
+}
+
+func (m *metrics) recoverLatency(ns int64) {
+	if m == nil {
+		return
+	}
+	m.recoverNs.Max(ns)
+}
+
+func (m *metrics) streamCommit(epoch int) {
+	if m == nil {
+		return
+	}
+	attempt := "primary"
+	if epoch > 0 {
+		attempt = "recovery"
+	}
+	m.streamcommits.With(m.node, attempt).Inc()
 }
 
 func (m *metrics) dialRetry(peer int) {

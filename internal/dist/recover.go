@@ -1,0 +1,1393 @@
+package dist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parallelagg/internal/tuple"
+)
+
+// This file is the tolerant-mode engine (Config.Tolerate; DESIGN.md §11).
+// The fail-fast RunNode path in dist.go aborts the query on the first peer
+// fault; here a query completes correctly despite peer crashes, hangs, and
+// one-way partitions, and produces the exact same answer as the fault-free
+// run:
+//
+//   - Node 0 is the query supervisor (a documented single point of
+//     failure). Every node heartbeats on every outgoing connection; the
+//     supervisor classifies peers live/suspect/dead from heartbeat
+//     staleness and peer complaints (supervisor.go).
+//
+//   - When a node d is declared dead, ALL of its duties — the input
+//     partitions assigned to it and the merge ranges it owns — move to a
+//     surviving worker under a fresh epoch E. Every data frame carries an
+//     (origin partition, epoch) stream tag; the merge side accounts for
+//     data in per-stream slots and discards zombie streams, so every
+//     logical tuple folds into the final answer exactly once per
+//     receiver-side slot no matter how attempts overlap.
+//
+//   - Stragglers (progress k× behind the live median) are handled with
+//     the same epoch machinery: the supervisor broadcasts a speculative
+//     assignment and the first complete attempt wins at each receiver.
+//
+//   - Recovery re-execution aggregates into a bounded table; at the bound
+//     it degrades gracefully to raw shipping (A-2P → Rep for the job's
+//     remainder) instead of aborting.
+//
+// Concurrency discipline: a single control-loop goroutine owns every piece
+// of merge/duty state (slots, stages, owner tables, the supervisor state
+// machine). Readers, the scan/job goroutine, and the heartbeat ticker only
+// communicate with it through the events channel, and the control loop is
+// the only goroutine that enqueues to or closes the jobs channel.
+
+// Event types delivered to the control loop.
+const (
+	evFrame     = iota // a decoded frame from an inbound connection
+	evReadErr          // an inbound connection died
+	evComplaint        // a local I/O failure toward a peer (scan/heartbeat side)
+	evScanDone         // the primary scan finished
+	evJobDone          // one queued recovery job finished
+	evTick             // supervisor clock tick (node 0 only)
+	evFatal            // unrecoverable local failure
+	evAcceptDone       // the accept loop exited; peer carries the conn count
+)
+
+type tevent struct {
+	typ   int
+	peer  int
+	phase Phase
+	err   error
+	f     tframe
+	conn  net.Conn // hello events carry the inbound connection
+}
+
+// tjob is one unit of recovery re-execution, run on the scan goroutine
+// after the primary scan completes.
+//
+// ranges == nil is a re-scan: re-execute partition `partition` end to end,
+// routing every slice by the current owner table (dest must be -1).
+// ranges != nil is a re-extract: replay only the keys whose merge range is
+// in `ranges`, shipping everything to `dest` (the takeover worker).
+// Either way all frames are tagged (partition, epoch).
+type tjob struct {
+	partition int
+	epoch     int
+	ranges    []bool
+	dest      int
+}
+
+// slotKey identifies one receiver-side unit of exactly-once accounting:
+// the contribution of input partition p to merge range r (a range this
+// node owns).
+type slotKey struct{ r, p int }
+
+// slot tracks whether range r has folded partition p's data, and which
+// re-execution epochs are acceptable sources for it. A slot is satisfied
+// by the first complete stream whose epoch is acceptable; everything else
+// for the same (r, p) is discarded as a zombie or speculative loser.
+type slot struct {
+	sat        bool
+	acceptable map[int]bool
+}
+
+// stage buffers one in-flight stream (origin, epoch) before its EOS,
+// pre-aggregated per key so staging is bounded by the group count rather
+// than the input size.
+type stage struct {
+	groups map[tuple.Key]tuple.AggState
+	frames int64
+}
+
+func (st *stage) absorb(pt tuple.Partial) {
+	if s, ok := st.groups[pt.Key]; ok {
+		s.Merge(pt.State)
+		st.groups[pt.Key] = s
+	} else {
+		st.groups[pt.Key] = pt.State
+	}
+}
+
+// errPeerDown marks a write skipped because the peer was already marked
+// down; it is never a fresh failure discovery.
+var errPeerDown = errors.New("dist: peer marked down")
+
+// tpeer is one outgoing connection in tolerant mode. Unlike the fail-fast
+// peer, it can be marked down: subsequent writes return errPeerDown and
+// the data plane drops that destination's slices (the receiver-side slot
+// algebra makes ship-vs-drop equally correct for a dead peer). markDown
+// closes the connection so a write already blocked on it fails promptly.
+type tpeer struct {
+	id      int
+	timeout time.Duration
+	m       *metrics
+	down    atomic.Bool
+
+	mu   sync.Mutex
+	conn net.Conn
+	w    *bufio.Writer
+	buf  []byte
+}
+
+func (p *tpeer) markDown() {
+	if p.down.Swap(true) {
+		return
+	}
+	p.mu.Lock()
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.mu.Unlock()
+}
+
+// install arms the peer with a live connection (dial side).
+func (p *tpeer) install(conn net.Conn) {
+	p.mu.Lock()
+	p.conn = conn
+	p.w = bufio.NewWriterSize(conn, 1<<16)
+	p.mu.Unlock()
+	p.down.Store(false)
+}
+
+func (p *tpeer) arm() {
+	if p.timeout > 0 {
+		p.conn.SetWriteDeadline(time.Now().Add(p.timeout))
+	}
+}
+
+func (p *tpeer) helloT(src int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down.Load() {
+		return errPeerDown
+	}
+	p.arm()
+	if err := writeHello(p.w, helloTolerantFlag|src); err != nil {
+		return err
+	}
+	if err := p.w.Flush(); err != nil {
+		return err
+	}
+	p.m.tsent(p.id, frameHello, 0)
+	return nil
+}
+
+func (p *tpeer) control(kind byte, origin, epoch int, aux uint32) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.controlLocked(kind, origin, epoch, aux)
+}
+
+// tryControl is control with TryLock: the heartbeat ticker uses it so a
+// write blocked on one stuck peer cannot delay beacons to the others.
+// Skipped rounds (lock busy) return errPeerDown-like silence: (nil, false).
+func (p *tpeer) tryControl(kind byte, origin, epoch int, aux uint32) (error, bool) {
+	if p.down.Load() {
+		return nil, false
+	}
+	if !p.mu.TryLock() {
+		return nil, false
+	}
+	defer p.mu.Unlock()
+	return p.controlLocked(kind, origin, epoch, aux), true
+}
+
+func (p *tpeer) controlLocked(kind byte, origin, epoch int, aux uint32) error {
+	if p.down.Load() {
+		return errPeerDown
+	}
+	p.arm()
+	if err := writeTControl(p.w, kind, origin, epoch, aux); err != nil {
+		return err
+	}
+	p.m.tsent(p.id, kind, 0)
+	return nil
+}
+
+func (p *tpeer) writeRawT(origin, epoch int, ts []tuple.Tuple) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down.Load() {
+		return errPeerDown
+	}
+	var err error
+	p.buf, err = tRawFrameInto(p.buf, origin, epoch, ts)
+	if err != nil {
+		return err
+	}
+	p.arm()
+	if _, err := p.w.Write(p.buf); err != nil {
+		return err
+	}
+	p.m.tsent(p.id, frameRaw, len(ts))
+	return nil
+}
+
+func (p *tpeer) writePartialsT(origin, epoch int, ps []tuple.Partial) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down.Load() {
+		return errPeerDown
+	}
+	var err error
+	p.buf, err = tPartialFrameInto(p.buf, origin, epoch, ps)
+	if err != nil {
+		return err
+	}
+	p.arm()
+	if _, err := p.w.Write(p.buf); err != nil {
+		return err
+	}
+	p.m.tsent(p.id, framePartial, len(ps))
+	return nil
+}
+
+// tnode is one tolerant-mode node. Fields below the "control-loop state"
+// marker are owned exclusively by the control goroutine.
+type tnode struct {
+	cfg     Config
+	id, n   int
+	part    []tuple.Tuple
+	m       *metrics
+	tracker *connTracker
+
+	done       chan struct{}
+	cancelOnce sync.Once
+	ln         net.Listener
+
+	events chan tevent
+	jobs   chan tjob
+	peers  []*tpeer
+
+	ownerPtr atomic.Pointer[[]int] // routing snapshot shared with the scan side
+	fallback atomic.Bool           // A-Rep end-of-phase flag
+	scanned  atomic.Int64          // primary-scan progress (tuples)
+	scanFlag atomic.Bool           // primary scan complete
+
+	// Scan-goroutine-owned counters, read after it exits.
+	rawSent, partialsSent int64
+	switched              bool
+
+	// --- control-loop state ---
+	final      map[tuple.Key]tuple.AggState
+	slots      map[slotKey]*slot
+	stages     map[streamID]*stage
+	pending    map[streamID]bool // complete streams parked until their epoch's assign arrives
+	epochs     map[int]bool      // epochs whose assign this node has processed
+	owner      []int             // authoritative owner table (published via ownerPtr)
+	assignee   []int             // partition -> responsible node
+	deadPeers  []bool
+	complained []bool
+	inbound      map[int]net.Conn
+	helloFails   int  // inbound conns that died before identifying themselves
+	inboundDead  int  // inbound conns that died, identified or not
+	acceptedCap  int  // total conns the accept loop delivered (valid once closed)
+	acceptClosed bool // the accept loop exited; no new inbound will ever arrive
+	everHello    bool // at least one inbound hello completed
+	queuedJobs   int
+	scanFinished bool
+	maxEpoch     int
+	lastDoneSent int
+	sup          *supervisor // node 0 only
+	finished     bool
+	evicted      bool
+	fatal        error
+}
+
+func newTnode(ln net.Listener, cfg Config, part []tuple.Tuple) *tnode {
+	n := len(cfg.Addrs)
+	nd := &tnode{
+		cfg:          cfg,
+		id:           cfg.ID,
+		n:            n,
+		part:         part,
+		m:            newMetrics(cfg.Obs, cfg.ID),
+		tracker:      &connTracker{},
+		done:         make(chan struct{}),
+		ln:           ln,
+		events:       make(chan tevent, 16*n),
+		jobs:         make(chan tjob, 2*n*n+8),
+		peers:        make([]*tpeer, n),
+		final:        make(map[tuple.Key]tuple.AggState),
+		slots:        make(map[slotKey]*slot),
+		stages:       make(map[streamID]*stage),
+		pending:      make(map[streamID]bool),
+		epochs:       make(map[int]bool),
+		owner:        make([]int, n),
+		assignee:     make([]int, n),
+		deadPeers:    make([]bool, n),
+		complained:   make([]bool, n),
+		inbound:      make(map[int]net.Conn),
+		lastDoneSent: -1,
+	}
+	for i := 0; i < n; i++ {
+		p := &tpeer{id: i, timeout: cfg.IOTimeout, m: nd.m}
+		p.down.Store(true) // up only once dialed
+		nd.peers[i] = p
+		nd.owner[i] = i
+		nd.assignee[i] = i
+		// This node owns its range at epoch 0 from every partition.
+		if i == cfg.ID {
+			for q := 0; q < n; q++ {
+				nd.slots[slotKey{r: i, p: q}] = &slot{acceptable: map[int]bool{0: true}}
+			}
+		}
+	}
+	nd.publishOwner()
+	return nd
+}
+
+func (nd *tnode) cancel() {
+	nd.cancelOnce.Do(func() {
+		close(nd.done)
+		nd.ln.Close()
+		nd.tracker.closeAll()
+	})
+}
+
+func (nd *tnode) publishOwner() {
+	snap := make([]int, nd.n)
+	copy(snap, nd.owner)
+	nd.ownerPtr.Store(&snap)
+}
+
+func (nd *tnode) ownerOf(k tuple.Key) int {
+	return (*nd.ownerPtr.Load())[k.Dest(nd.n)]
+}
+
+// post delivers an event to the control loop, giving up on cancellation.
+func (nd *tnode) post(ev tevent) bool {
+	select {
+	case nd.events <- ev:
+		return true
+	case <-nd.done:
+		return false
+	}
+}
+
+// shipFail handles a data-plane write failure toward peer d: mark it down
+// (closing the connection, so nothing else blocks on it), and either
+// complain to the supervisor or — if the supervisor itself is the
+// unreachable one — declare the local node failed, because without the
+// supervisor no complaint, done report, or reassignment can reach us.
+func (nd *tnode) shipFail(d int, err error) {
+	if errors.Is(err, errPeerDown) {
+		return // already known down; nothing new to report
+	}
+	nd.m.ioError(PhaseWrite, err)
+	nd.peers[d].markDown()
+	if d == 0 && nd.id != 0 {
+		nd.post(tevent{typ: evFatal, err: nodeErr(nd.id, 0, PhaseWrite,
+			fmt.Errorf("supervisor connection lost: %w", err))})
+		return
+	}
+	nd.post(tevent{typ: evComplaint, peer: d, phase: PhaseWrite})
+}
+
+// runNodeTolerant executes one node of the fault-tolerant protocol. See
+// the file comment for the architecture; the sequencing here matters:
+// the supervisor connection is dialed before anything else starts, the
+// heartbeat and control goroutines run while the remaining (possibly
+// slow or dead) peers are dialed so the node is never silent longer than
+// a beacon interval, and the supervisor's decision ticker only starts
+// once its own formation is complete so no assignment can be broadcast
+// to a not-yet-dialed peer.
+func runNodeTolerant(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, error) {
+	nd := newTnode(ln, cfg, part)
+	defer nd.cancel()
+
+	var readers, ctrl, scan, beat, tick sync.WaitGroup
+
+	// Accept side: runs until the listener closes. Tolerant formation has
+	// no fixed conn count — a late or restarted peer can still connect —
+	// so there is no formation watchdog; silent peers are the liveness
+	// protocol's business.
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		accepted := 0
+		// Exiting caps the inbound universe: tell control how many
+		// connections ever arrived, so it can recognize the moment none
+		// of them remain and nothing new can come (see onReadErr).
+		defer func() { nd.post(tevent{typ: evAcceptDone, peer: accepted}) }()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				if isTemporary(err) {
+					select {
+					case <-time.After(time.Millisecond):
+						continue
+					case <-nd.done:
+						return
+					}
+				}
+				return
+			}
+			if ok := nd.tracker.add(conn); !ok {
+				return
+			}
+			accepted++
+			readers.Add(1)
+			go func(conn net.Conn) {
+				defer readers.Done()
+				nd.readLoop(conn)
+			}(conn)
+		}
+	}()
+
+	// The supervisor connection is load-bearing: without it this node can
+	// neither report progress nor learn about reassignments.
+	dialSpan := cfg.Tracer.Begin(cfg.ID, "dial")
+	if err := nd.dialOne(0, time.Now().Add(cfg.DialTimeout)); err != nil {
+		dialSpan.End("supervisor unreachable")
+		nd.cancel()
+		readers.Wait()
+		return nil, err
+	}
+	if nd.id == 0 {
+		// The failure detector's clock starts at supervisor formation, so
+		// every peer gets a full DeadAfter of grace to finish dialing.
+		nd.sup = newSupervisor(cfg, time.Now())
+	}
+
+	ctrl.Add(1)
+	go func() {
+		defer ctrl.Done()
+		nd.control()
+	}()
+	beat.Add(1)
+	go func() {
+		defer beat.Done()
+		nd.heartbeatLoop()
+	}()
+
+	// Remaining peers: a dial failure to a non-supervisor peer is
+	// tolerated — mark it down and complain; the supervisor will declare
+	// it dead and reassign. Failing to reach ourselves is fatal (the
+	// self-connection carries our own slices to our own merge).
+	deadline := time.Now().Add(cfg.DialTimeout)
+	var dialErr error
+	up := 1
+	for j := 1; j < nd.n; j++ {
+		if err := nd.dialOne(j, deadline); err != nil {
+			if j == nd.id {
+				dialErr = err
+				break
+			}
+			nd.post(tevent{typ: evComplaint, peer: j, phase: PhaseDial})
+			continue
+		}
+		up++
+	}
+	dialSpan.End(fmt.Sprintf("%d/%d peers", up, nd.n))
+	if dialErr != nil {
+		nd.cancel()
+		ctrl.Wait()
+		beat.Wait()
+		readers.Wait()
+		return nil, dialErr
+	}
+
+	if nd.id == 0 {
+		tick.Add(1)
+		go func() {
+			defer tick.Done()
+			t := time.NewTicker(cfg.HeartbeatEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if !nd.post(tevent{typ: evTick}) {
+						return
+					}
+				case <-nd.done:
+					return
+				}
+			}
+		}()
+	}
+
+	scan.Add(1)
+	go func() {
+		defer scan.Done()
+		scanSpan := cfg.Tracer.Begin(cfg.ID, "scan")
+		nd.scanPrimary()
+		scanSpan.End(fmt.Sprintf("%d tuples, switched=%v", len(part), nd.switched))
+		nd.post(tevent{typ: evScanDone})
+		for j := range nd.jobs {
+			nd.runJob(j)
+			nd.post(tevent{typ: evJobDone})
+		}
+	}()
+
+	ctrl.Wait()
+	nd.cancel()
+	tick.Wait()
+	beat.Wait()
+	scan.Wait()
+	readers.Wait()
+
+	if nd.evicted {
+		return nil, nodeErr(nd.id, 0, PhaseHeartbeat, ErrEvicted)
+	}
+	if nd.fatal != nil {
+		return nil, nd.fatal
+	}
+	if !nd.finished {
+		// The done channel closed under us without a finish — only
+		// possible if cancel ran from a path that already reported.
+		return nil, nodeErr(nd.id, -1, PhaseHeartbeat, fmt.Errorf("query cancelled before completion"))
+	}
+	// Leftover stages are zombie attempts that never found an eligible
+	// slot; account for them before the sanity check.
+	for _, st := range nd.stages {
+		nd.m.stale(st.frames)
+	}
+	// Sanity: every final group must hash to a range this node owns.
+	misrouted := false
+	var badKey tuple.Key
+	for k := range nd.final {
+		if nd.owner[k.Dest(nd.n)] != nd.id && (!misrouted || k < badKey) {
+			misrouted, badKey = true, k
+		}
+	}
+	if misrouted {
+		return nil, nodeErr(nd.id, nd.owner[badKey.Dest(nd.n)], PhaseMerge,
+			fmt.Errorf("received group %d owned by node %d", badKey, nd.owner[badKey.Dest(nd.n)]))
+	}
+	res := &NodeResult{
+		Groups:       nd.final,
+		Switched:     nd.switched,
+		RawSent:      nd.rawSent,
+		PartialsSent: nd.partialsSent,
+	}
+	for r := 0; r < nd.n; r++ {
+		if nd.owner[r] == nd.id {
+			res.Ranges = append(res.Ranges, r)
+		}
+	}
+	for x := 0; x < nd.n; x++ {
+		if nd.deadPeers[x] {
+			res.DeadPeers = append(res.DeadPeers, x)
+		}
+	}
+	return res, nil
+}
+
+// dialOne connects to peer j (with the same backoff/jitter policy as the
+// fail-fast dialer), performs the tolerant hello, and installs the
+// connection. The peer stays down on failure.
+func (nd *tnode) dialOne(j int, deadline time.Time) error {
+	cfg := nd.cfg
+	dial := cfg.Dial
+	if dial == nil {
+		dial = net.DialTimeout
+	}
+	rng := jitterRand(cfg)
+	backoff := 2 * time.Millisecond
+	var conn net.Conn
+	var err error
+	for {
+		attempt := time.Until(deadline)
+		if attempt > time.Second {
+			attempt = time.Second
+		}
+		if attempt < 50*time.Millisecond {
+			attempt = 50 * time.Millisecond
+		}
+		conn, err = dial("tcp", cfg.Addrs[j], attempt)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		nd.m.dialRetry(j)
+		sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
+		if until := time.Until(deadline); sleep > until {
+			sleep = until
+		}
+		nd.m.backoff(sleep)
+		time.Sleep(sleep)
+		if backoff < 250*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	if err != nil {
+		return nodeErr(nd.id, j, PhaseDial, err)
+	}
+	if ok := nd.tracker.add(conn); !ok {
+		return nodeErr(nd.id, j, PhaseDial, net.ErrClosed)
+	}
+	p := nd.peers[j]
+	p.install(conn)
+	if err := p.helloT(nd.id); err != nil {
+		p.markDown()
+		return nodeErr(nd.id, j, PhaseHello, err)
+	}
+	return nil
+}
+
+// readLoop serves one inbound connection: hello, then frames until error
+// or close. Any frame is posted to the control loop; FIFO delivery per
+// connection guarantees a finish frame is processed before the connection's
+// own teardown error.
+func (nd *tnode) readLoop(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 1<<16)
+	arm := func() {
+		if nd.cfg.IOTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(nd.cfg.IOTimeout))
+		}
+	}
+	arm()
+	raw, err := readHello(r)
+	if err != nil || raw&helloTolerantFlag == 0 {
+		if err == nil {
+			err = fmt.Errorf("dist: fail-fast hello on a tolerant node (mixed-mode cluster)")
+		}
+		nd.m.ioError(PhaseHello, err)
+		// Unidentified connection: we can't complain about a nameless
+		// peer, but the control loop counts these — a node whose EVERY
+		// inbound handshake times out is deaf (inbound one-way partition)
+		// and must declare itself failed rather than stall the query.
+		nd.post(tevent{typ: evReadErr, peer: -1, err: err})
+		return
+	}
+	src := raw &^ helloTolerantFlag
+	if src < 0 || src >= nd.n {
+		nd.post(tevent{typ: evReadErr, peer: -1, err: fmt.Errorf("dist: hello from out-of-range node %d", src)})
+		return
+	}
+	nd.m.trecv(src, frameHello, 0)
+	if !nd.post(tevent{typ: evFrame, peer: src, f: tframe{kind: frameHello}, conn: conn}) {
+		return
+	}
+	for {
+		arm()
+		f, err := readTFrame(r)
+		if err != nil {
+			nd.m.ioError(PhaseRead, err)
+			nd.post(tevent{typ: evReadErr, peer: src, err: err})
+			return
+		}
+		nd.m.trecv(src, f.kind, len(f.raw)+len(f.partials))
+		if !nd.post(tevent{typ: evFrame, peer: src, f: f}) {
+			return
+		}
+	}
+}
+
+// heartbeatLoop beacons liveness + scan progress on every outgoing
+// connection. TryLock skips a peer whose writer is blocked so one stuck
+// connection cannot silence us toward everyone else (which would read as
+// OUR death at the supervisor).
+func (nd *tnode) heartbeatLoop() {
+	t := time.NewTicker(nd.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		permille := 1000
+		if total := len(nd.part); total > 0 && !nd.scanFlag.Load() {
+			permille = int(nd.scanned.Load() * 1000 / int64(total))
+		}
+		for _, p := range nd.peers {
+			err, sent := p.tryControl(frameHeartbeat, nd.id, 0, uint32(permille))
+			if sent && err == nil {
+				nd.m.heartbeat()
+			}
+			if err != nil && !errors.Is(err, errPeerDown) {
+				nd.shipFail(p.id, err)
+			}
+		}
+		select {
+		case <-t.C:
+		case <-nd.done:
+			return
+		}
+	}
+}
+
+// scanPrimary is the tolerant scan-side state machine: the same algorithm
+// logic as scanAndShip, but routing by the live owner table, tolerating
+// write failures (mark down + complain + drop that destination's slices —
+// the receiver-side slot algebra makes the drop correct), and feeding the
+// heartbeat progress counter.
+func (nd *tnode) scanPrimary() {
+	cfg := nd.cfg
+	n := nd.n
+	local := make(map[tuple.Key]tuple.AggState)
+	bound := cfg.TableEntries
+	routing := cfg.Algorithm == Repartitioning || cfg.Algorithm == AdaptiveRepartitioning
+
+	observing := cfg.Algorithm == AdaptiveRepartitioning
+	fellBack := false
+	obsSeen := 0
+	obsGroups := make(map[tuple.Key]struct{})
+	threshold := int(cfg.SwitchRatio * float64(cfg.InitSeg))
+	if threshold < 1 {
+		threshold = 1
+	}
+
+	rawBuf := make([][]tuple.Tuple, n)
+	shipRaw := func(t tuple.Tuple) {
+		d := nd.ownerOf(t.Key)
+		rawBuf[d] = append(rawBuf[d], t)
+		if len(rawBuf[d]) >= cfg.Batch {
+			if err := nd.peers[d].writeRawT(nd.id, 0, rawBuf[d]); err != nil {
+				nd.shipFail(d, err)
+			} else {
+				nd.rawSent += int64(len(rawBuf[d]))
+			}
+			rawBuf[d] = rawBuf[d][:0]
+		}
+	}
+	flushPartials := func() {
+		partBuf := make([][]tuple.Partial, n)
+		for k, s := range local {
+			d := nd.ownerOf(k)
+			partBuf[d] = append(partBuf[d], tuple.Partial{Key: k, State: s})
+		}
+		for d := 0; d < n; d++ {
+			sort.Slice(partBuf[d], func(i, j int) bool { return partBuf[d][i].Key < partBuf[d][j].Key })
+			if len(partBuf[d]) > 0 {
+				if err := nd.peers[d].writePartialsT(nd.id, 0, partBuf[d]); err != nil {
+					nd.shipFail(d, err)
+				} else {
+					nd.partialsSent += int64(len(partBuf[d]))
+				}
+			}
+		}
+		local = make(map[tuple.Key]tuple.AggState)
+	}
+
+	for _, t := range nd.part {
+		nd.scanned.Add(1)
+		if routing && cfg.Algorithm == AdaptiveRepartitioning && !fellBack {
+			if nd.fallback.Load() {
+				fellBack = true
+				routing = false
+				nd.switched = true
+				observing = false
+				nd.m.switched("local")
+			} else if observing {
+				obsSeen++
+				if len(obsGroups) <= threshold {
+					obsGroups[t.Key] = struct{}{}
+				}
+				if len(obsGroups) > threshold {
+					observing = false
+				} else if obsSeen >= cfg.InitSeg {
+					observing = false
+					fellBack = true
+					nd.fallback.Store(true)
+					routing = false
+					nd.switched = true
+					nd.m.switched("local")
+					for d := 0; d < n; d++ {
+						if err := nd.peers[d].control(frameEOP, nd.id, 0, 0); err != nil {
+							nd.shipFail(d, err)
+						}
+					}
+				}
+			}
+		}
+		if routing {
+			shipRaw(t)
+			continue
+		}
+		if s, ok := local[t.Key]; ok {
+			s.Update(t.Val)
+			local[t.Key] = s
+			continue
+		}
+		if bound > 0 && len(local) >= bound {
+			switch cfg.Algorithm {
+			case AdaptiveTwoPhase, AdaptiveRepartitioning:
+				flushPartials()
+				routing = true
+				nd.switched = true
+				observing = false
+				nd.m.switched("repart")
+				shipRaw(t)
+				continue
+			default:
+				flushPartials()
+			}
+		}
+		local[t.Key] = tuple.NewState(t.Val)
+		nd.m.occupancy(len(local), bound)
+	}
+	flushPartials()
+	for d := 0; d < n; d++ {
+		if len(rawBuf[d]) > 0 {
+			if err := nd.peers[d].writeRawT(nd.id, 0, rawBuf[d]); err != nil {
+				nd.shipFail(d, err)
+			} else {
+				nd.rawSent += int64(len(rawBuf[d]))
+			}
+		}
+	}
+	nd.scanFlag.Store(true)
+	// End of the primary stream (this partition, epoch 0) at every peer:
+	// even a peer that received no slices needs the EOS to satisfy its
+	// (r, us) slot.
+	for d := 0; d < n; d++ {
+		if err := nd.peers[d].control(frameEOS, nd.id, 0, 0); err != nil {
+			nd.shipFail(d, err)
+		}
+	}
+}
+
+// runJob executes one recovery re-execution on the scan goroutine. The
+// job aggregates into a bounded table; hitting the bound degrades the
+// remainder to raw shipping (graceful A-2P → Rep downgrade) instead of
+// failing the recovery.
+func (nd *tnode) runJob(j tjob) {
+	data := nd.part
+	if j.partition != nd.id {
+		data = nd.cfg.PartitionSource(j.partition)
+	}
+	n := nd.n
+	bound := nd.cfg.TableEntries
+	local := make(map[tuple.Key]tuple.AggState)
+	rawBuf := make([][]tuple.Tuple, n)
+	var shipped int64
+	degraded := false
+
+	dest := func(k tuple.Key) int {
+		if j.dest >= 0 {
+			return j.dest
+		}
+		return nd.ownerOf(k)
+	}
+	shipRaw := func(t tuple.Tuple) {
+		d := dest(t.Key)
+		rawBuf[d] = append(rawBuf[d], t)
+		if len(rawBuf[d]) >= nd.cfg.Batch {
+			if err := nd.peers[d].writeRawT(j.partition, j.epoch, rawBuf[d]); err != nil {
+				nd.shipFail(d, err)
+			} else {
+				shipped += int64(len(rawBuf[d]))
+				nd.rawSent += int64(len(rawBuf[d]))
+			}
+			rawBuf[d] = rawBuf[d][:0]
+		}
+	}
+	flushPartials := func() {
+		partBuf := make([][]tuple.Partial, n)
+		for k, s := range local {
+			partBuf[dest(k)] = append(partBuf[dest(k)], tuple.Partial{Key: k, State: s})
+		}
+		for d := 0; d < n; d++ {
+			sort.Slice(partBuf[d], func(a, b int) bool { return partBuf[d][a].Key < partBuf[d][b].Key })
+			if len(partBuf[d]) > 0 {
+				if err := nd.peers[d].writePartialsT(j.partition, j.epoch, partBuf[d]); err != nil {
+					nd.shipFail(d, err)
+				} else {
+					shipped += int64(len(partBuf[d]))
+					nd.partialsSent += int64(len(partBuf[d]))
+				}
+			}
+		}
+		local = make(map[tuple.Key]tuple.AggState)
+	}
+
+	for _, t := range data {
+		if j.ranges != nil && !j.ranges[t.Key.Dest(n)] {
+			continue
+		}
+		if !degraded {
+			if s, ok := local[t.Key]; ok {
+				s.Update(t.Val)
+				local[t.Key] = s
+				continue
+			}
+			if bound > 0 && len(local) >= bound {
+				// Memory pressure during recovery: flush what we have as
+				// partials and ship the remainder raw rather than refuse.
+				nd.m.downgrade()
+				degraded = true
+				flushPartials()
+			} else {
+				local[t.Key] = tuple.NewState(t.Val)
+				continue
+			}
+		}
+		shipRaw(t)
+	}
+	flushPartials()
+	for d := 0; d < n; d++ {
+		if len(rawBuf[d]) > 0 {
+			if err := nd.peers[d].writeRawT(j.partition, j.epoch, rawBuf[d]); err != nil {
+				nd.shipFail(d, err)
+			} else {
+				shipped += int64(len(rawBuf[d]))
+				nd.rawSent += int64(len(rawBuf[d]))
+			}
+		}
+	}
+	nd.m.reship(shipped)
+	if j.dest >= 0 {
+		if err := nd.peers[j.dest].control(frameEOS, j.partition, j.epoch, 0); err != nil {
+			nd.shipFail(j.dest, err)
+		}
+		return
+	}
+	for d := 0; d < n; d++ {
+		if err := nd.peers[d].control(frameEOS, j.partition, j.epoch, 0); err != nil {
+			nd.shipFail(d, err)
+		}
+	}
+}
+
+// control is the single-goroutine brain: it owns all merge and duty state
+// and is the only writer of the jobs channel (closed on exit, which ends
+// the scan goroutine's job loop).
+func (nd *tnode) control() {
+	defer close(nd.jobs)
+	for {
+		var ev tevent
+		select {
+		case ev = <-nd.events:
+		case <-nd.done:
+			return
+		}
+		switch ev.typ {
+		case evFrame:
+			nd.onFrame(ev)
+		case evReadErr:
+			nd.onReadErr(ev)
+		case evComplaint:
+			nd.complainAbout(ev.peer, ev.phase)
+		case evScanDone:
+			nd.scanFinished = true
+			nd.maybeDone()
+		case evJobDone:
+			nd.queuedJobs--
+			nd.maybeDone()
+		case evTick:
+			nd.onTick()
+		case evFatal:
+			if nd.fatal == nil {
+				nd.fatal = ev.err
+			}
+		case evAcceptDone:
+			nd.acceptClosed = true
+			nd.acceptedCap = ev.peer
+			nd.checkDeaf(fmt.Errorf("listener closed"))
+		}
+		if nd.finished || nd.evicted || nd.fatal != nil {
+			return
+		}
+	}
+}
+
+func (nd *tnode) onFrame(ev tevent) {
+	f := ev.f
+	if nd.sup != nil {
+		// Any frame from a peer is liveness evidence.
+		nd.sup.beat(ev.peer, 0, time.Now())
+	}
+	switch f.kind {
+	case frameHello:
+		nd.everHello = true
+		if old, ok := nd.inbound[ev.peer]; ok && old != ev.conn {
+			old.Close()
+		}
+		nd.inbound[ev.peer] = ev.conn
+	case frameHeartbeat:
+		if nd.sup != nil {
+			nd.sup.beat(f.origin, int(f.aux), time.Now())
+		}
+	case frameSuspect:
+		if nd.sup != nil {
+			nd.sup.complain(ev.peer, f.origin)
+			span := nd.cfg.Tracer.Begin(nd.id, "suspect")
+			span.End(fmt.Sprintf("node %d blames %d (%s)", ev.peer, f.origin, codePhase(f.aux)))
+		}
+	case frameDone:
+		if nd.sup != nil {
+			nd.sup.done(ev.peer, int(f.aux))
+			nd.checkFinished()
+		}
+	case frameAssign:
+		nd.onAssign(assignment{
+			Node:   f.origin,
+			Worker: int(f.aux & 0xFFFF),
+			Epoch:  f.epoch,
+			Dead:   f.aux&assignDeadFlag != 0,
+		})
+	case frameEvict:
+		nd.evicted = true
+	case frameFinish:
+		nd.finished = true
+	case frameEOP:
+		nd.fallback.Store(true)
+	case frameRaw:
+		st := nd.stage(f.stream())
+		st.frames++
+		for _, t := range f.raw {
+			st.absorb(tuple.Partial{Key: t.Key, State: tuple.NewState(t.Val)})
+		}
+	case framePartial:
+		st := nd.stage(f.stream())
+		st.frames++
+		for _, pt := range f.partials {
+			st.absorb(pt)
+		}
+	case frameEOS:
+		nd.tryCommit(f.stream())
+	}
+}
+
+func (nd *tnode) stage(s streamID) *stage {
+	st, ok := nd.stages[s]
+	if !ok {
+		st = &stage{groups: make(map[tuple.Key]tuple.AggState)}
+		nd.stages[s] = st
+	}
+	return st
+}
+
+func (nd *tnode) onReadErr(ev tevent) {
+	nd.inboundDead++
+	nd.classifyReadErr(ev)
+	nd.checkDeaf(ev.err)
+}
+
+// checkDeaf fails the node the moment no frame can ever reach it again:
+// every inbound connection that arrived has died, and either the full
+// mesh had formed (n conns) or the listener itself is gone so nothing
+// new can connect. Without this a node whose connections are all torn
+// down mid-query would wait forever for a finish or evict frame that
+// cannot be delivered. Per-connection FIFO makes the rule race-free —
+// a finish frame is always queued ahead of its own connection's death
+// event, so a completed query never trips it.
+func (nd *tnode) checkDeaf(cause error) {
+	if nd.fatal != nil || nd.finished || nd.evicted || len(nd.inbound) != 0 {
+		return
+	}
+	noMesh := nd.inboundDead >= nd.n
+	noListener := nd.acceptClosed && nd.inboundDead >= nd.acceptedCap
+	if noMesh || noListener {
+		nd.fatal = nodeErr(nd.id, -1, PhaseHeartbeat,
+			fmt.Errorf("all inbound connections lost before completion: %w", cause))
+	}
+}
+
+func (nd *tnode) classifyReadErr(ev tevent) {
+	if ev.peer < 0 {
+		nd.helloFails++
+		if !nd.everHello && nd.helloFails >= nd.n {
+			// Every inbound connection (we expect n, one per peer
+			// including ourselves) died before a single hello arrived:
+			// we can transmit but not receive. Stop heartbeating so the
+			// supervisor declares us dead and reassigns.
+			nd.fatal = nodeErr(nd.id, -1, PhaseHeartbeat,
+				fmt.Errorf("isolated: no inbound handshake completed (%d attempts): %w", nd.helloFails, ev.err))
+		}
+		return
+	}
+	if c, ok := nd.inbound[ev.peer]; ok {
+		c.Close()
+		delete(nd.inbound, ev.peer)
+	}
+	if ev.peer == nd.id || nd.deadPeers[ev.peer] {
+		// Our own self-connection echo, or the expected teardown of a
+		// peer already declared dead.
+		return
+	}
+	if ev.peer == 0 && nd.id != 0 {
+		// The supervisor stopped talking: without it no recovery or
+		// completion can be coordinated. (A clean finish arrives as a
+		// frame before this connection's EOF, FIFO per connection.)
+		nd.fatal = nodeErr(nd.id, 0, PhaseHeartbeat,
+			fmt.Errorf("supervisor connection lost: %w", ev.err))
+		return
+	}
+	nd.complainAbout(ev.peer, PhaseRead)
+}
+
+// complainAbout reports a failed operation toward peer x to the
+// supervisor. Complaints are advisory and therefore best-effort: losing
+// one only delays failure detection, and making them fatal would turn
+// benign teardown races (a finished peer closing its connections a beat
+// before our finish frame is processed) into spurious node failures.
+func (nd *tnode) complainAbout(x int, phase Phase) {
+	if x < 0 || x >= nd.n || nd.complained[x] || nd.deadPeers[x] {
+		return
+	}
+	nd.complained[x] = true
+	if nd.sup != nil {
+		nd.sup.complain(0, x)
+		return
+	}
+	if err := nd.peers[0].control(frameSuspect, x, 0, phaseCode(phase)); err != nil && !errors.Is(err, errPeerDown) {
+		nd.peers[0].markDown()
+	}
+}
+
+func (nd *tnode) onTick() {
+	if nd.sup == nil {
+		return
+	}
+	now := time.Now()
+	decisions := nd.sup.decide(now)
+	for _, x := range nd.sup.takeSuspects() {
+		nd.m.suspicion(x)
+	}
+	for _, a := range decisions {
+		if a.Dead {
+			nd.m.death(a.Node)
+			// Best-effort eviction notice, so a slandered-but-alive node
+			// (one-way partition) stops instead of shipping frames the
+			// cluster will discard.
+			nd.peers[a.Node].control(frameEvict, a.Node, a.Epoch, 0)
+		}
+		aux := uint32(a.Worker)
+		if a.Dead {
+			aux |= assignDeadFlag
+		}
+		for j, p := range nd.peers {
+			if nd.deadPeers[j] || (a.Dead && j == a.Node) {
+				continue
+			}
+			// Broadcast to every live peer including ourselves (the
+			// self-connection makes assign processing uniform).
+			if err := p.control(frameAssign, a.Node, a.Epoch, aux); err != nil && !errors.Is(err, errPeerDown) {
+				nd.shipFail(j, err)
+			}
+		}
+	}
+	nd.checkFinished()
+}
+
+func (nd *tnode) checkFinished() {
+	if nd.sup == nil || !nd.sup.finished() {
+		return
+	}
+	if !nd.sup.lastDeathAt.IsZero() {
+		nd.m.recoverLatency(time.Since(nd.sup.lastDeathAt).Nanoseconds())
+	}
+	for j, p := range nd.peers {
+		if nd.deadPeers[j] || j == nd.id {
+			continue
+		}
+		p.control(frameFinish, 0, nd.sup.epoch, 0)
+	}
+	nd.finished = true
+}
+
+// onAssign applies one supervisor reassignment: all duties of a.Node move
+// to a.Worker at a.Epoch. This is where the exactly-once algebra lives —
+// see DESIGN.md §11 for the proof sketch.
+func (nd *tnode) onAssign(a assignment) {
+	if a.Epoch <= 0 || nd.epochs[a.Epoch] ||
+		a.Node < 0 || a.Node >= nd.n || a.Worker < 0 || a.Worker >= nd.n {
+		return
+	}
+	nd.epochs[a.Epoch] = true
+	if a.Epoch > nd.maxEpoch {
+		nd.maxEpoch = a.Epoch
+	}
+	if a.Dead && a.Node == nd.id {
+		nd.evicted = true
+		return
+	}
+	// Partitions currently the subject's responsibility.
+	moved := make([]bool, nd.n)
+	for q := 0; q < nd.n; q++ {
+		if nd.assignee[q] == a.Node {
+			moved[q] = true
+		}
+	}
+	if a.Dead {
+		nd.deadPeers[a.Node] = true
+		nd.peers[a.Node].markDown()
+		if c, ok := nd.inbound[a.Node]; ok {
+			c.Close()
+			delete(nd.inbound, a.Node)
+		}
+		// Ranges the dead node owned move to the worker.
+		takenRanges := make([]bool, nd.n)
+		anyRange := false
+		for r := 0; r < nd.n; r++ {
+			if nd.owner[r] == a.Node {
+				takenRanges[r] = true
+				anyRange = true
+				nd.owner[r] = a.Worker
+			}
+		}
+		for q := 0; q < nd.n; q++ {
+			if moved[q] {
+				nd.assignee[q] = a.Worker
+				nd.m.reassign(q, true)
+			}
+		}
+		nd.publishOwner()
+		// Unsatisfied slots fed by a moved partition now accept ONLY the
+		// new epoch: the dead node's partial stream can never complete,
+		// and the re-execution replaces it wholesale.
+		for k, sl := range nd.slots {
+			if moved[k.p] && !sl.sat {
+				sl.acceptable = map[int]bool{a.Epoch: true}
+			}
+		}
+		if a.Worker == nd.id {
+			// We own the taken-over ranges now; every partition owes them
+			// a slice at the new epoch (live peers re-extract, we re-scan
+			// the dead ones).
+			for r := 0; r < nd.n; r++ {
+				if !takenRanges[r] {
+					continue
+				}
+				for q := 0; q < nd.n; q++ {
+					nd.slots[slotKey{r: r, p: q}] = &slot{acceptable: map[int]bool{a.Epoch: true}}
+				}
+			}
+			for q := 0; q < nd.n; q++ {
+				if moved[q] {
+					nd.enqueueJob(tjob{partition: q, epoch: a.Epoch, dest: -1})
+				}
+			}
+		}
+		if anyRange {
+			// Re-extract the taken ranges' slices from every partition we
+			// are responsible for (excluding ones that just moved — the
+			// worker's re-scan covers those end to end).
+			for q := 0; q < nd.n; q++ {
+				if moved[q] || nd.assignee[q] != nd.id {
+					continue
+				}
+				nd.enqueueJob(tjob{partition: q, epoch: a.Epoch, ranges: takenRanges, dest: a.Worker})
+			}
+		}
+		// The dead node's primary stream can no longer commit anywhere
+		// here; drop its stage if it never completed.
+		if st, ok := nd.stages[streamID{origin: a.Node, epoch: 0}]; ok {
+			nd.m.stale(st.frames)
+			delete(nd.stages, streamID{origin: a.Node, epoch: 0})
+		}
+	} else {
+		// Speculative: the straggler's partitions gain an alternative
+		// epoch; first complete attempt per slot wins. No ranges move.
+		for q := 0; q < nd.n; q++ {
+			if moved[q] {
+				nd.m.reassign(q, false)
+			}
+		}
+		for k, sl := range nd.slots {
+			if moved[k.p] && !sl.sat {
+				sl.acceptable[a.Epoch] = true
+			}
+		}
+		if a.Worker == nd.id {
+			for q := 0; q < nd.n; q++ {
+				if moved[q] {
+					nd.enqueueJob(tjob{partition: q, epoch: a.Epoch, dest: -1})
+				}
+			}
+		}
+	}
+	// Streams that completed before we learned their epoch can commit now.
+	for s := range nd.pending {
+		if s.epoch == a.Epoch {
+			delete(nd.pending, s)
+			nd.tryCommit(s)
+		}
+	}
+	nd.maybeDone()
+}
+
+func (nd *tnode) enqueueJob(j tjob) {
+	nd.queuedJobs++
+	select {
+	case nd.jobs <- j:
+	case <-nd.done:
+	}
+}
+
+// tryCommit folds a complete stream into the final table, filtered per
+// key by slot eligibility: a key folds only if the slot for its range
+// (a) is unsatisfied and (b) accepts the stream's epoch. A stream with
+// no eligible slots is a zombie or a speculative loser and is discarded
+// whole. This per-key filter is what makes overlapping attempts safe:
+// two complete attempts over the same partition can both commit — to
+// disjoint slot sets.
+func (nd *tnode) tryCommit(s streamID) {
+	st := nd.stage(s)
+	if s.epoch > 0 && !nd.epochs[s.epoch] {
+		// EOS raced ahead of the assign that justifies its epoch (the
+		// supervisor's broadcast and the worker's stream travel on
+		// different connections). Park it; onAssign re-tries.
+		nd.pending[s] = true
+		return
+	}
+	eligible := make(map[int]bool)
+	for k, sl := range nd.slots {
+		if k.p == s.origin && !sl.sat && sl.acceptable[s.epoch] {
+			eligible[k.r] = true
+		}
+	}
+	if len(eligible) == 0 {
+		nd.m.stale(st.frames)
+		delete(nd.stages, s)
+		span := nd.cfg.Tracer.Begin(nd.id, "discard")
+		span.End(fmt.Sprintf("stale stream %s", s))
+		return
+	}
+	for key, state := range st.groups {
+		if !eligible[key.Dest(nd.n)] {
+			continue
+		}
+		if cur, ok := nd.final[key]; ok {
+			cur.Merge(state)
+			nd.final[key] = cur
+		} else {
+			nd.final[key] = state
+		}
+	}
+	for k, sl := range nd.slots {
+		if k.p == s.origin && eligible[k.r] {
+			sl.sat = true
+		}
+	}
+	nd.m.streamCommit(s.epoch)
+	delete(nd.stages, s)
+	nd.maybeDone()
+}
+
+// maybeDone reports completion (scan finished, job queue drained, every
+// slot satisfied) to the supervisor, watermarked by the highest epoch
+// this node has processed; a later assign lowers the watermark below the
+// supervisor's epoch and forces a re-report once the new work is done.
+func (nd *tnode) maybeDone() {
+	if !nd.scanFinished || nd.queuedJobs > 0 {
+		return
+	}
+	for _, sl := range nd.slots {
+		if !sl.sat {
+			return
+		}
+	}
+	if nd.lastDoneSent >= nd.maxEpoch {
+		return
+	}
+	nd.lastDoneSent = nd.maxEpoch
+	if err := nd.peers[0].control(frameDone, nd.id, 0, uint32(nd.maxEpoch)); err != nil {
+		if nd.sup != nil {
+			// Our own self-connection failed; fall back to direct
+			// bookkeeping — the supervisor state machine is local anyway.
+			nd.sup.done(nd.id, nd.maxEpoch)
+			nd.checkFinished()
+			return
+		}
+		if !errors.Is(err, errPeerDown) {
+			nd.peers[0].markDown()
+		}
+		nd.fatal = nodeErr(nd.id, 0, PhaseHeartbeat,
+			fmt.Errorf("cannot report completion to supervisor: %w", err))
+	}
+}

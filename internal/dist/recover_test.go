@@ -1,0 +1,486 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"parallelagg/internal/obs"
+	"parallelagg/internal/tuple"
+	"parallelagg/internal/workload"
+)
+
+// supConfig builds a supervisor config with explicit thresholds so the
+// pure state machine can be driven with synthetic clocks, no sleeping.
+func supConfig(n int) Config {
+	return Config{
+		Addrs:           make([]string, n),
+		HeartbeatEvery:  100 * time.Millisecond,
+		SuspectAfter:    400 * time.Millisecond,
+		DeadAfter:       time.Second,
+		SpeculateFactor: 2,
+	}
+}
+
+func TestSupervisorClassify(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	s := newSupervisor(supConfig(3), t0)
+
+	if got := s.classify(1, t0.Add(200*time.Millisecond)); got != Live {
+		t.Errorf("fresh node classified %v", got)
+	}
+	if got := s.classify(1, t0.Add(500*time.Millisecond)); got != Suspect {
+		t.Errorf("stale node classified %v, want suspect", got)
+	}
+	s.beat(1, 0, t0.Add(500*time.Millisecond))
+	if got := s.classify(1, t0.Add(600*time.Millisecond)); got != Live {
+		t.Errorf("re-beaten node classified %v, want live", got)
+	}
+	s.complain(2, 1)
+	if got := s.classify(1, t0.Add(600*time.Millisecond)); got != Suspect {
+		t.Errorf("complained-about node classified %v, want suspect", got)
+	}
+	for _, l := range []Liveness{Live, Suspect, Dead, Liveness(42)} {
+		if l.String() == "" {
+			t.Errorf("Liveness(%d) has empty String", l)
+		}
+	}
+}
+
+func TestSupervisorDeathByStaleness(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	s := newSupervisor(supConfig(4), t0)
+	// Everyone but node 2 keeps beating.
+	later := t0.Add(1100 * time.Millisecond)
+	for _, i := range []int{0, 1, 3} {
+		s.beat(i, 1000, later)
+	}
+	as := s.decide(later)
+	if len(as) != 1 || as[0].Node != 2 || !as[0].Dead || as[0].Epoch != 1 {
+		t.Fatalf("decide = %+v, want node 2 dead at epoch 1", as)
+	}
+	if as[0].Worker == 2 {
+		t.Fatalf("dead node picked as its own worker")
+	}
+	if s.partAssignee[2] != as[0].Worker || s.rangeOwner[2] != as[0].Worker {
+		t.Errorf("duty mirrors not moved: assignee=%d owner=%d", s.partAssignee[2], s.rangeOwner[2])
+	}
+	if got := s.classify(2, later); got != Dead {
+		t.Errorf("declared node classified %v", got)
+	}
+	// Death is latched: no duplicate assignment on the next tick.
+	if as := s.decide(later.Add(time.Millisecond)); len(as) != 0 {
+		t.Errorf("second decide re-issued %+v", as)
+	}
+	// A dead node's late beats and complaints change nothing.
+	s.beat(2, 1000, later.Add(time.Second))
+	s.complain(2, 1)
+	s.beat(1, 1000, later.Add(time.Second))
+	if s.shouldDie(1, later.Add(time.Second+time.Millisecond)) {
+		t.Error("zombie complaint killed a live node")
+	}
+}
+
+func TestSupervisorNeverKillsItself(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	s := newSupervisor(supConfig(3), t0)
+	// Node 0 hopelessly stale and slandered by everyone: still not dead —
+	// it IS the failure detector (documented SPOF; its loss fails the query).
+	s.complain(1, 0)
+	s.complain(2, 0)
+	if s.shouldDie(0, t0.Add(time.Hour)) {
+		t.Fatal("supervisor declared itself dead")
+	}
+}
+
+func TestSupervisorDeathByComplaint(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	s := newSupervisor(supConfig(4), t0)
+	at := t0.Add(500 * time.Millisecond)
+	for _, i := range []int{0, 2, 3} {
+		s.beat(i, 0, at)
+	}
+	// Node 1 stale past SuspectAfter (but not DeadAfter) plus one complaint.
+	if s.shouldDie(1, at) {
+		t.Fatal("stale-only node died before DeadAfter")
+	}
+	s.complain(3, 1)
+	if !s.shouldDie(1, at) {
+		t.Fatal("suspect-plus-complaint did not die")
+	}
+}
+
+func TestSupervisorDeathByMajority(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	s := newSupervisor(supConfig(5), t0)
+	at := t0.Add(10 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		s.beat(i, 0, at) // everyone fresh
+	}
+	s.complain(0, 4)
+	s.complain(1, 4)
+	if s.shouldDie(4, at) {
+		t.Fatal("died below the complaint majority")
+	}
+	s.complain(2, 4)
+	if !s.shouldDie(4, at) {
+		t.Fatal("fresh node with majority complaints survived")
+	}
+}
+
+func TestSupervisorIsolationRule(t *testing.T) {
+	// Node 3 complains about a majority of fresh peers: the complainer,
+	// not the accused, is behind the broken link.
+	t0 := time.Unix(100, 0)
+	s := newSupervisor(supConfig(4), t0)
+	at := t0.Add(10 * time.Millisecond)
+	for i := 0; i < 4; i++ {
+		s.beat(i, 0, at)
+	}
+	s.complain(3, 1)
+	if s.isolated(3, at) {
+		t.Fatal("isolated with a single complaint")
+	}
+	s.complain(3, 2)
+	if !s.isolated(3, at) {
+		t.Fatal("majority-blaming node not isolated")
+	}
+	as := s.decide(at)
+	if len(as) != 1 || as[0].Node != 3 || !as[0].Dead {
+		t.Fatalf("decide = %+v, want node 3 dead", as)
+	}
+	// The accused stay alive.
+	for _, i := range []int{1, 2} {
+		if s.dead[i] {
+			t.Errorf("accused node %d died", i)
+		}
+	}
+}
+
+func TestSupervisorSpeculation(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	s := newSupervisor(supConfig(4), t0)
+	at := t0.Add(50 * time.Millisecond)
+	s.beat(0, 1000, at)
+	s.beat(1, 1000, at)
+	s.beat(2, 1000, at)
+	s.beat(3, 100, at)
+	as := s.decide(at)
+	if len(as) != 1 || as[0].Node != 3 || as[0].Dead || as[0].Epoch != 1 {
+		t.Fatalf("decide = %+v, want speculative assignment for node 3", as)
+	}
+	// Speculation is latched per node and moves no duties.
+	if s.partAssignee[3] != 3 || s.rangeOwner[3] != 3 {
+		t.Errorf("speculative assignment moved duties")
+	}
+	if as := s.decide(at.Add(time.Millisecond)); len(as) != 0 {
+		t.Errorf("speculation re-fired: %+v", as)
+	}
+	// A finished straggler (progress 1000) never triggers speculation.
+	s2 := newSupervisor(supConfig(4), t0)
+	for i := 0; i < 4; i++ {
+		s2.beat(i, 1000, at)
+	}
+	if as := s2.decide(at); len(as) != 0 {
+		t.Errorf("all-done cluster speculated: %+v", as)
+	}
+	// SpeculateFactor 0 disables the rule entirely.
+	cfg := supConfig(4)
+	cfg.SpeculateFactor = 0
+	s3 := newSupervisor(cfg, t0)
+	s3.beat(0, 1000, at)
+	s3.beat(1, 1000, at)
+	s3.beat(2, 1000, at)
+	s3.beat(3, 100, at)
+	if as := s3.decide(at); len(as) != 0 {
+		t.Errorf("disabled speculation fired: %+v", as)
+	}
+}
+
+func TestSupervisorPickWorker(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	s := newSupervisor(supConfig(4), t0)
+	if w := s.pickWorker(2); w != 0 {
+		t.Errorf("balanced load picked worker %d, want 0 (lowest id)", w)
+	}
+	// Node 3 died and its partition moved to node 0: the next pick
+	// avoids the loaded node 0 and of course the dead node 3.
+	s.dead[3] = true
+	s.partAssignee[3] = 0
+	if w := s.pickWorker(2); w != 1 {
+		t.Errorf("loaded cluster picked worker %d, want 1", w)
+	}
+	s.dead[1] = true
+	if w := s.pickWorker(2); w != 0 {
+		t.Errorf("with only node 0 left picked worker %d, want 0", w)
+	}
+}
+
+func TestSupervisorFinished(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	s := newSupervisor(supConfig(3), t0)
+	if s.finished() {
+		t.Fatal("finished before any done report")
+	}
+	s.done(0, 0)
+	s.done(1, 0)
+	s.done(2, 0)
+	if !s.finished() {
+		t.Fatal("not finished with every node done at epoch 0")
+	}
+	// A death bumps the epoch: stale watermarks no longer count.
+	at := t0.Add(2 * time.Second)
+	s.beat(0, 1000, at)
+	s.beat(1, 1000, at)
+	s.decide(at) // node 2 dies, epoch 1
+	if s.finished() {
+		t.Fatal("finished with pre-death watermarks")
+	}
+	s.done(0, 1)
+	s.done(1, 1)
+	if !s.finished() {
+		t.Fatal("not finished after post-death re-reports")
+	}
+	if len(s.takeSuspects()) == 0 {
+		t.Error("death left no suspicion transition for metrics")
+	}
+	if len(s.takeSuspects()) != 0 {
+		t.Error("takeSuspects did not drain")
+	}
+}
+
+// tolerantTemplate is a cluster template for fault-free tolerant runs:
+// thresholds generous enough that scheduler hiccups under -race cannot
+// fake a death.
+func tolerantTemplate(alg Algorithm) Config {
+	return Config{
+		Algorithm:      alg,
+		Tolerate:       true,
+		Batch:          256,
+		DialTimeout:    2 * time.Second,
+		IOTimeout:      2 * time.Second,
+		HeartbeatEvery: 50 * time.Millisecond,
+		SuspectAfter:   time.Second,
+		DeadAfter:      3 * time.Second,
+	}
+}
+
+func TestTolerantFaultFreeAllAlgorithms(t *testing.T) {
+	rel := workload.Uniform(4, 8_000, 500, 11)
+	for _, alg := range algorithms() {
+		template := tolerantTemplate(alg)
+		template.TableEntries = 256
+		res, err := RunConfigured(rel.PerNode, template)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(res.Dead) != 0 {
+			t.Fatalf("%v: fault-free run declared %v dead", alg, res.Dead)
+		}
+		verify(t, rel, res.Groups)
+	}
+}
+
+func TestTolerantAdaptiveSwitch(t *testing.T) {
+	// A tiny bound forces the A-2P switch on every node, over the
+	// tolerant wire dialect (mixed partial + raw frames in one stream).
+	rel := workload.Uniform(4, 8_000, 4_000, 12)
+	template := tolerantTemplate(AdaptiveTwoPhase)
+	template.TableEntries = 64
+	res, err := RunConfigured(rel.PerNode, template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switched != 4 {
+		t.Errorf("switched = %d nodes, want 4", res.Switched)
+	}
+	verify(t, rel, res.Groups)
+}
+
+func TestTolerantAdaptiveRepFallback(t *testing.T) {
+	// One group: A-Rep observes low cardinality and falls back to local
+	// aggregation, broadcasting EOP over tolerant control frames.
+	rel := workload.Uniform(4, 8_000, 1, 13)
+	template := tolerantTemplate(AdaptiveRepartitioning)
+	template.InitSeg = 512
+	template.SwitchRatio = 0.01
+	res, err := RunConfigured(rel.PerNode, template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, rel, res.Groups)
+}
+
+func TestTolerantMatchesFailFast(t *testing.T) {
+	// The determinism obligation, fault-free half: the tolerant protocol
+	// must produce the exact groups of the fail-fast protocol (the chaos
+	// matrix proves the faulty half against the same baseline).
+	rel := workload.Uniform(4, 8_000, 700, 14)
+	template := tolerantTemplate(TwoPhase)
+	tol, err := RunConfigured(rel.PerNode, template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	template.Tolerate = false
+	ff, err := RunConfigured(rel.PerNode, template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tol.Groups) != len(ff.Groups) {
+		t.Fatalf("tolerant %d groups, fail-fast %d", len(tol.Groups), len(ff.Groups))
+	}
+	for k, s := range ff.Groups {
+		if ts, ok := tol.Groups[k]; !ok || ts != s {
+			t.Fatalf("group %d: tolerant %v, fail-fast %v", k, tol.Groups[k], s)
+		}
+	}
+}
+
+func TestTolerantSingleNodeAndEmpty(t *testing.T) {
+	rel := workload.Uniform(1, 3_000, 100, 15)
+	res, err := RunConfigured(rel.PerNode, tolerantTemplate(TwoPhase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, rel, res.Groups)
+
+	// Empty partitions still complete the tolerant protocol (progress
+	// reports 1000 immediately; every slot satisfied by bare EOS).
+	parts := make([][]tuple.Tuple, 3)
+	res, err = RunConfigured(parts, tolerantTemplate(Repartitioning))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 0 {
+		t.Errorf("empty partitions produced %d groups", len(res.Groups))
+	}
+}
+
+func TestTolerateRequiresPartitionSource(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tolerantTemplate(TwoPhase)
+	cfg.ID = 0
+	cfg.Addrs = []string{ln.Addr().String()}
+	_, err = RunNode(ln, cfg, nil)
+	if err == nil || !strings.Contains(err.Error(), "PartitionSource") {
+		t.Fatalf("RunNode error = %v, want PartitionSource requirement", err)
+	}
+}
+
+// sumMetric adds every series value of the named family in a prometheus
+// text snapshot, optionally filtered by a label substring.
+func sumMetric(t *testing.T, snap, family, labelSub string) float64 {
+	t.Helper()
+	var total float64
+	for _, line := range strings.Split(snap, "\n") {
+		if !strings.HasPrefix(line, family) || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if labelSub != "" && !strings.Contains(line, labelSub) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscan(fields[len(fields)-1], &v); err != nil {
+			continue
+		}
+		total += v
+	}
+	return total
+}
+
+func TestTolerantMetricsVisible(t *testing.T) {
+	rel := workload.Uniform(3, 6_000, 300, 16)
+	template := tolerantTemplate(TwoPhase)
+	template.Obs = obs.New()
+	res, err := RunConfigured(rel.PerNode, template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, rel, res.Groups)
+	snap := string(template.Obs.Snapshot())
+	if got := sumMetric(t, snap, "dist_recover_heartbeats_total", ""); got <= 0 {
+		t.Errorf("dist_recover_heartbeats_total = %v, want > 0\n%s", got, snap)
+	}
+	// Every (receiver, partition) primary stream commits exactly once:
+	// 3 nodes x 3 partitions.
+	if got := sumMetric(t, snap, "dist_recover_stream_commits_total", `"primary"`); got != 9 {
+		t.Errorf("primary stream commits = %v, want 9", got)
+	}
+	if got := sumMetric(t, snap, "dist_recover_stale_frames_total", ""); got != 0 {
+		t.Errorf("fault-free run discarded %v stale frames", got)
+	}
+}
+
+// TestCheckDeaf pins the give-up rule that keeps a node from waiting
+// forever once no frame can ever reach it: all inbound connections dead
+// AND either the full mesh had formed or the listener itself is gone.
+// Found the hard way: a crashed node whose supervisor hello never
+// completed used to hang until an external timeout killed it.
+func TestCheckDeaf(t *testing.T) {
+	mk := func() *tnode {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		cfg := Config{ID: 1, Addrs: []string{"a", "b", "c"}, Tolerate: true}
+		return newTnode(ln, cfg.withDefaults(), nil)
+	}
+	cause := errors.New("conn torn down")
+
+	nd := mk()
+	nd.inboundDead = 2 // two of three conns dead, mesh count not reached
+	nd.checkDeaf(cause)
+	if nd.fatal != nil {
+		t.Fatalf("fired with a conn still expected: %v", nd.fatal)
+	}
+	nd.inboundDead = 3
+	nd.checkDeaf(cause)
+	if nd.fatal == nil {
+		t.Fatal("full mesh came and went, no live inbound: must fail")
+	}
+
+	// A live identified connection holds the rule off at any count.
+	nd = mk()
+	nd.inboundDead = 5
+	nd.inbound[0] = nil
+	nd.checkDeaf(cause)
+	if nd.fatal != nil {
+		t.Fatalf("fired with the supervisor conn still live: %v", nd.fatal)
+	}
+
+	// Listener gone caps the universe below n: two conns ever arrived,
+	// both died — nothing new can connect, so waiting is hopeless.
+	nd = mk()
+	nd.acceptClosed = true
+	nd.acceptedCap = 2
+	nd.inboundDead = 2
+	nd.checkDeaf(cause)
+	if nd.fatal == nil {
+		t.Fatal("listener closed with every accepted conn dead: must fail")
+	}
+
+	// A finished or evicted node never converts teardown into failure.
+	for _, setup := range []func(*tnode){
+		func(nd *tnode) { nd.finished = true },
+		func(nd *tnode) { nd.evicted = true },
+	} {
+		nd = mk()
+		nd.inboundDead = 3
+		setup(nd)
+		nd.checkDeaf(cause)
+		if nd.fatal != nil {
+			t.Fatalf("fired after completion: %v", nd.fatal)
+		}
+	}
+}

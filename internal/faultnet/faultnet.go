@@ -29,6 +29,12 @@ import (
 // (with SO_LINGER 0 when it is a TCPConn, so the peer sees a real RST).
 var ErrInjectedReset = errors.New("faultnet: injected connection reset")
 
+// ErrInjectedCrash is returned by every operation on an injector whose
+// kill trigger (KillWrites/KillReads) has fired: the process it simulates
+// is gone, so reads, writes, accepts, and dials all fail hard. Unlike
+// ErrInjectedAcceptFailure it is NOT temporary.
+var ErrInjectedCrash = errors.New("faultnet: injected crash")
+
 // ErrInjectedAcceptFailure is returned by Accept when the injector fires
 // an accept fault. It is temporary: accept loops that retry transient
 // errors (as internal/dist does) recover from it.
@@ -74,6 +80,30 @@ type Config struct {
 	// AcceptFail is the probability that an Accept returns a temporary
 	// ErrInjectedAcceptFailure instead of a connection.
 	AcceptFail float64
+
+	// OneWayTx and OneWayRx model an asymmetric (one-way) partition,
+	// decided once per connection at wrap time. A tx-blackholed
+	// connection's writes succeed silently without delivering a byte —
+	// the victim believes it is talking while nobody hears it. An
+	// rx-blackholed connection's reads block until deadline or close —
+	// the victim hears nobody while its own frames still get out.
+	OneWayTx float64
+	OneWayRx float64
+
+	// KillWrites / KillReads simulate a process crash at a point in the
+	// protocol: after N writes (resp. reads) counted across every
+	// connection of this injector, all wrapped connections are closed and
+	// every subsequent read, write, accept, and dial fails with the
+	// permanent ErrInjectedCrash. Small counts die during dial/hello,
+	// medium counts mid-scan, large read counts mid-merge. 0 disables.
+	KillWrites int
+	KillReads  int
+
+	// HangWrites / HangReads are the same trigger but the process goes
+	// silent instead of dying: once fired, every operation blocks until
+	// its deadline expires or the connection is closed. 0 disables.
+	HangWrites int
+	HangReads  int
 }
 
 // ParseSpec builds a Config from a compact comma-separated spec suitable
@@ -108,6 +138,18 @@ func ParseSpec(spec string) (Config, error) {
 			c.Hang, err = strconv.ParseFloat(v, 64)
 		case "acceptfail":
 			c.AcceptFail, err = strconv.ParseFloat(v, 64)
+		case "onewaytx":
+			c.OneWayTx, err = strconv.ParseFloat(v, 64)
+		case "onewayrx":
+			c.OneWayRx, err = strconv.ParseFloat(v, 64)
+		case "killwrites":
+			c.KillWrites, err = strconv.Atoi(v)
+		case "killreads":
+			c.KillReads, err = strconv.Atoi(v)
+		case "hangwrites":
+			c.HangWrites, err = strconv.Atoi(v)
+		case "hangreads":
+			c.HangReads, err = strconv.Atoi(v)
 		case "seed":
 			c.Seed, err = strconv.ParseInt(v, 10, 64)
 		default:
@@ -134,6 +176,8 @@ func (c Config) validate() error {
 		{"reset", c.Reset},
 		{"hang", c.Hang},
 		{"acceptfail", c.AcceptFail},
+		{"onewaytx", c.OneWayTx},
+		{"onewayrx", c.OneWayRx},
 	} {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("faultnet: %s=%v is not a probability in [0,1]", p.name, p.v)
@@ -148,21 +192,95 @@ func (c Config) validate() error {
 	if c.Bandwidth < 0 {
 		return fmt.Errorf("faultnet: negative bandwidth %d", c.Bandwidth)
 	}
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"killwrites", c.KillWrites},
+		{"killreads", c.KillReads},
+		{"hangwrites", c.HangWrites},
+		{"hangreads", c.HangReads},
+	} {
+		if p.v < 0 {
+			return fmt.Errorf("faultnet: negative %s count %d", p.name, p.v)
+		}
+	}
 	return nil
 }
 
 // Injector owns the fault schedule. One injector can wrap many
-// connections and listeners; they share its RNG and bandwidth budget.
+// connections and listeners; they share its RNG, bandwidth budget, and
+// crash/hang triggers (one injector simulates one process's network).
 type Injector struct {
 	cfg Config
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu     sync.Mutex
+	rng    *rand.Rand
+	reads  int
+	writes int
+	killed bool
+	hung   bool
+	conns  []net.Conn // every wrapped conn, closed en masse on kill
 }
 
 // New builds an injector for cfg.
 func New(cfg Config) *Injector {
 	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// opTick counts one read or write against the kill/hang triggers and
+// reports the injector's resulting state for this operation. Crossing a
+// kill threshold closes every wrapped connection — the whole simulated
+// process dies at once, not just the connection that happened to do the
+// fatal operation.
+func (in *Injector) opTick(write bool) (killed, hung bool) {
+	var toClose []net.Conn
+	in.mu.Lock()
+	if write {
+		in.writes++
+	} else {
+		in.reads++
+	}
+	if !in.killed {
+		if (in.cfg.KillWrites > 0 && in.writes > in.cfg.KillWrites) ||
+			(in.cfg.KillReads > 0 && in.reads > in.cfg.KillReads) {
+			in.killed = true
+			toClose = in.conns
+			in.conns = nil
+		}
+	}
+	if !in.hung {
+		if (in.cfg.HangWrites > 0 && in.writes > in.cfg.HangWrites) ||
+			(in.cfg.HangReads > 0 && in.reads > in.cfg.HangReads) {
+			in.hung = true
+		}
+	}
+	killed, hung = in.killed, in.hung
+	in.mu.Unlock()
+	for _, c := range toClose {
+		c.Close()
+	}
+	return killed, hung
+}
+
+// dead reports whether the kill trigger has fired.
+func (in *Injector) dead() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.killed
+}
+
+// track registers a wrapped conn for mass closure on kill; if the
+// injector is already dead the conn is closed immediately.
+func (in *Injector) track(c net.Conn) {
+	in.mu.Lock()
+	if in.killed {
+		in.mu.Unlock()
+		c.Close()
+		return
+	}
+	in.conns = append(in.conns, c)
+	in.mu.Unlock()
 }
 
 // roll returns true with probability p, from the shared seeded RNG.
@@ -196,9 +314,19 @@ func (in *Injector) cut(n int) int {
 	return in.rng.Intn(n)
 }
 
-// Conn wraps c with this injector's faults.
+// Conn wraps c with this injector's faults. The one-way partition, being
+// a property of a link rather than an operation, is decided here, once
+// per connection.
 func (in *Injector) Conn(c net.Conn) net.Conn {
-	return &conn{Conn: c, in: in, closed: make(chan struct{})}
+	fc := &conn{
+		Conn:        c,
+		in:          in,
+		closed:      make(chan struct{}),
+		txBlackhole: in.roll(in.cfg.OneWayTx),
+		rxBlackhole: in.roll(in.cfg.OneWayRx),
+	}
+	in.track(fc)
+	return fc
 }
 
 // Listener wraps l so Accept can fail transiently and every accepted
@@ -215,9 +343,16 @@ func (in *Injector) Dialer(base func(network, addr string, timeout time.Duration
 		base = net.DialTimeout
 	}
 	return func(network, addr string, timeout time.Duration) (net.Conn, error) {
+		if in.dead() {
+			return nil, ErrInjectedCrash
+		}
 		c, err := base(network, addr, timeout)
 		if err != nil {
 			return nil, err
+		}
+		if in.dead() {
+			c.Close()
+			return nil, ErrInjectedCrash
 		}
 		return in.Conn(c), nil
 	}
@@ -229,6 +364,9 @@ type listener struct {
 }
 
 func (l *listener) Accept() (net.Conn, error) {
+	if l.in.dead() {
+		return nil, ErrInjectedCrash
+	}
 	if l.in.roll(l.in.cfg.AcceptFail) {
 		return nil, ErrInjectedAcceptFailure
 	}
@@ -245,6 +383,9 @@ func (l *listener) Accept() (net.Conn, error) {
 type conn struct {
 	net.Conn
 	in *Injector
+
+	txBlackhole bool // writes vanish silently
+	rxBlackhole bool // reads block forever
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -347,6 +488,20 @@ func (c *conn) before(n int, write bool) error {
 }
 
 func (c *conn) Read(p []byte) (int, error) {
+	if killed, hung := c.in.opTick(false); killed {
+		c.Close()
+		return 0, ErrInjectedCrash
+	} else if hung {
+		if err := c.wait(-1, false); err != nil {
+			return 0, err
+		}
+	}
+	if c.rxBlackhole {
+		// Inbound half of the link is gone: block until deadline/close.
+		if err := c.wait(-1, false); err != nil {
+			return 0, err
+		}
+	}
 	if err := c.before(len(p), false); err != nil {
 		return 0, err
 	}
@@ -354,6 +509,19 @@ func (c *conn) Read(p []byte) (int, error) {
 }
 
 func (c *conn) Write(p []byte) (int, error) {
+	if killed, hung := c.in.opTick(true); killed {
+		c.Close()
+		return 0, ErrInjectedCrash
+	} else if hung {
+		if err := c.wait(-1, true); err != nil {
+			return 0, err
+		}
+	}
+	if c.txBlackhole {
+		// Outbound half of the link is gone: pretend success, deliver
+		// nothing. The sender only learns via the liveness protocol.
+		return len(p), nil
+	}
 	if err := c.before(len(p), true); err != nil {
 		return 0, err
 	}

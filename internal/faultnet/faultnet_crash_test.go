@@ -1,0 +1,179 @@
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOneWayTxBlackhole(t *testing.T) {
+	in := New(Config{OneWayTx: 1})
+	client, server := pipePair(t, in)
+	// The victim's write "succeeds" — full length, no error — but the
+	// peer never sees a byte: the signature of an asymmetric partition.
+	n, err := client.Write([]byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("blackholed write = (%d, %v), want silent success", n, err)
+	}
+	server.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 8)
+	if n, err := server.Read(buf); err == nil {
+		t.Fatalf("peer received %d bytes through a tx blackhole", n)
+	}
+	// The victim's own reads still work.
+	go server.Write([]byte("ok"))
+	client.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := client.Read(buf); err != nil {
+		t.Fatalf("rx direction broken too: %v", err)
+	}
+}
+
+func TestOneWayRxBlackhole(t *testing.T) {
+	in := New(Config{OneWayRx: 1})
+	client, server := pipePair(t, in)
+	// The victim's writes still reach the peer.
+	if _, err := client.Write([]byte("out")); err != nil {
+		t.Fatalf("tx direction broken: %v", err)
+	}
+	server.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 8)
+	if _, err := server.Read(buf); err != nil {
+		t.Fatalf("peer did not receive: %v", err)
+	}
+	// Inbound data exists on the wire, but the victim's read blocks
+	// until its deadline — exactly like a dead inbound path.
+	go server.Write([]byte("in"))
+	client.SetReadDeadline(time.Now().Add(80 * time.Millisecond))
+	start := time.Now()
+	_, err := client.Read(buf)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackholed read = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) < 80*time.Millisecond {
+		t.Fatal("read returned before the deadline")
+	}
+}
+
+func TestKillWritesCrashesWholeProcess(t *testing.T) {
+	in := New(Config{KillWrites: 2})
+	c1, _ := pipePair(t, in)
+	c2, s2 := pipePair(t, in)
+	if _, err := c1.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := c2.Write([]byte("b")); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	// Write 3 crosses the threshold: the simulated process dies, taking
+	// EVERY wrapped connection with it, not just the one that wrote.
+	if _, err := c1.Write([]byte("c")); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("write 3 = %v, want ErrInjectedCrash", err)
+	}
+	if _, err := c2.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("read on sibling conn = %v, want ErrInjectedCrash", err)
+	}
+	// The peer of a killed conn sees a hard close.
+	s2.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 4)
+	if n, _ := s2.Read(buf); n > 0 { // drain the delivered byte first
+		_, err := s2.Read(buf)
+		if err == nil {
+			t.Fatal("peer still connected to a crashed process")
+		}
+	}
+	// Everything else the dead process might try also fails.
+	if _, err := in.Dialer(nil)("tcp", "127.0.0.1:1", time.Second); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("dial after crash = %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := in.Listener(ln).Accept(); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("accept after crash = %v", err)
+	}
+	// New conns wrapped post-mortem are closed on arrival.
+	cl, _ := pipePair(t, nil)
+	dead := in.Conn(cl)
+	if _, err := dead.Write([]byte("x")); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("write on post-mortem conn = %v", err)
+	}
+}
+
+func TestKillReadsCrashes(t *testing.T) {
+	in := New(Config{KillReads: 1})
+	client, server := pipePair(t, in)
+	go server.Write([]byte("xy"))
+	buf := make([]byte, 1)
+	client.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := client.Read(buf); err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	if _, err := client.Read(buf); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("read 2 = %v, want ErrInjectedCrash", err)
+	}
+	if _, err := client.Write([]byte("z")); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("write after read-crash = %v", err)
+	}
+}
+
+func TestHangWritesSilencesProcess(t *testing.T) {
+	in := New(Config{HangWrites: 1})
+	client, _ := pipePair(t, in)
+	if _, err := client.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	client.SetWriteDeadline(time.Now().Add(60 * time.Millisecond))
+	start := time.Now()
+	if _, err := client.Write([]byte("b")); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("write 2 = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) < 60*time.Millisecond {
+		t.Fatal("hung write returned early")
+	}
+	// Once hung, the process is silent in every direction.
+	client.SetReadDeadline(time.Now().Add(60 * time.Millisecond))
+	if _, err := client.Read(make([]byte, 1)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read after hang = %v, want deadline exceeded", err)
+	}
+}
+
+func TestParseSpecRecoveryKeys(t *testing.T) {
+	c, err := ParseSpec("onewaytx=0.5,onewayrx=0.25,killwrites=3,killreads=4,hangwrites=5,hangreads=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{OneWayTx: 0.5, OneWayRx: 0.25, KillWrites: 3, KillReads: 4, HangWrites: 5, HangReads: 6}
+	if c != want {
+		t.Errorf("ParseSpec = %+v, want %+v", c, want)
+	}
+	bad := map[string]string{
+		"onewaytx=1.5":   "not a probability",
+		"onewayrx=-0.1":  "not a probability",
+		"killwrites=-1":  "negative killwrites",
+		"killreads=-2":   "negative killreads",
+		"hangwrites=-3":  "negative hangwrites",
+		"hangreads=-4":   "negative hangreads",
+		"killwrites=1.5": "invalid syntax",
+	}
+	for spec, wantSub := range bad {
+		_, err := ParseSpec(spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("ParseSpec(%q) error = %q, want substring %q", spec, err, wantSub)
+		}
+	}
+	// Boundary values are fine.
+	for _, spec := range []string{"onewaytx=0", "onewayrx=1", "killwrites=0", "hangreads=0"} {
+		if _, err := ParseSpec(spec); err != nil {
+			t.Errorf("ParseSpec(%q) rejected boundary value: %v", spec, err)
+		}
+	}
+}
