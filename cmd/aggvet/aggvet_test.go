@@ -192,6 +192,156 @@ func Jitter() int64 { return rand.Int63n(100) }
 			t.Fatalf("diagnostic missing from output:\n%s", out)
 		}
 	})
+
+	t.Run("use after pool Put via helper fails vet", func(t *testing.T) {
+		// The Put happens inside release(), so catching the read in
+		// Recycle proves the bottom-up summaries survive the
+		// unitchecker path against the real sync package.
+		dir := writeModule(t, map[string]string{"internal/live/pool.go": `package live
+
+import "sync"
+
+type batch struct{ n int }
+
+var pool = sync.Pool{New: func() any { return new(batch) }}
+
+func release(b *batch) { pool.Put(b) }
+
+func Recycle() int {
+	b := pool.Get().(*batch)
+	release(b)
+	return b.n
+}
+`})
+		out, err := govet(t, tool, dir)
+		if err == nil {
+			t.Fatalf("go vet passed on a use-after-Put through a helper; output:\n%s", out)
+		}
+		if !strings.Contains(out, "pooluse: b.n is used after being returned to its sync.Pool") {
+			t.Fatalf("diagnostic missing from output:\n%s", out)
+		}
+	})
+
+	t.Run("loop-owned field touched from another goroutine fails vet", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{"internal/dist/own.go": `package dist
+
+type node struct {
+	//aggvet:owner control
+	pending int
+}
+
+//aggvet:loop control
+func (n *node) control() {
+	n.pending++
+	go func() {
+		n.pending--
+	}()
+}
+`})
+		out, err := govet(t, tool, dir)
+		if err == nil {
+			t.Fatalf("go vet passed on a cross-goroutine owner access; output:\n%s", out)
+		}
+		if !strings.Contains(out, "loopown: field pending is owned by") {
+			t.Fatalf("diagnostic missing from output:\n%s", out)
+		}
+	})
+
+	t.Run("non-exhaustive switch on a marked kind fails vet", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{"pkg/wire/wire.go": `package wire
+
+//aggvet:exhaustive
+type kind byte
+
+const (
+	kindRaw  kind = 1
+	kindDone kind = 2
+)
+
+func name(k kind) string {
+	switch k {
+	case kindRaw:
+		return "raw"
+	}
+	return "?"
+}
+`})
+		out, err := govet(t, tool, dir)
+		if err == nil {
+			t.Fatalf("go vet passed on a non-exhaustive kind switch; output:\n%s", out)
+		}
+		if !strings.Contains(out, "framecase: switch on") {
+			t.Fatalf("diagnostic missing from output:\n%s", out)
+		}
+	})
+}
+
+// TestRepoZeroDiagnostics is the regression gate: the full ten-analyzer
+// suite must report nothing on this repository. Any new finding is
+// either a real bug to fix or a deliberate exception to document with
+// a rationaled //aggvet:allow — never something to merge silently.
+func TestRepoZeroDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go vet over the whole module")
+	}
+	tool := buildTool(t)
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, verr := govet(t, tool, repoRoot); verr != nil {
+		t.Fatalf("aggvet reports findings on the repo — fix them or add a rationaled //aggvet:allow: %v\n%s", verr, out)
+	}
+}
+
+// TestAllowInventoryMode drives `aggvet -allows`: the inventory must
+// list rationaled directives and fail on any missing "-- rationale".
+func TestAllowInventoryMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the built tool")
+	}
+	tool := buildTool(t)
+
+	const rationaled = `package p
+
+func f() {
+	_ = 0 //aggvet:allow simclock -- documented exception
+}
+`
+	const bare = `package p
+
+func g() {
+	_ = 0 //aggvet:allow simclock
+}
+`
+
+	t.Run("rationaled allows pass", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(rationaled), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		out, err := exec.Command(tool, "-allows", dir).CombinedOutput()
+		if err != nil {
+			t.Fatalf("-allows failed on a rationaled directive: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "simclock -- documented exception") {
+			t.Fatalf("inventory line missing from output:\n%s", out)
+		}
+	})
+
+	t.Run("bare allow fails", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(bare), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		out, err := exec.Command(tool, "-allows", dir).CombinedOutput()
+		if err == nil {
+			t.Fatalf("-allows passed on a bare directive; output:\n%s", out)
+		}
+		if !strings.Contains(string(out), `missing "-- rationale"`) {
+			t.Fatalf("malformed-directive marker missing from output:\n%s", out)
+		}
+	})
 }
 
 // TestHandshake verifies the two build-system handshake invocations the
@@ -219,6 +369,7 @@ func TestHandshake(t *testing.T) {
 	for _, name := range []string{
 		"simclock", "seededrand", "netdeadline", "donesend",
 		"maporder", "floatdet", "resleak",
+		"pooluse", "loopown", "framecase",
 	} {
 		if !strings.Contains(string(out), `"`+name+`"`) {
 			t.Errorf("-flags JSON missing analyzer %q:\n%s", name, out)

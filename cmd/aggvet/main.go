@@ -1,5 +1,5 @@
 // Command aggvet is the repo's determinism-and-networking linter: a
-// multichecker over the seven invariant analyzers in internal/analysis,
+// multichecker over the ten invariant analyzers in internal/analysis,
 // speaking the "go vet -vettool" protocol. Run it through the build
 // system so packages arrive type-checked with their dependencies'
 // export data:
@@ -8,25 +8,45 @@
 //	go vet -vettool=$(pwd)/bin/aggvet ./...
 //
 // or simply `make lint`. Passing analyzer names as flags selects a
-// subset (e.g. -simclock); by default all seven run. The first four are
+// subset (e.g. -simclock); by default all ten run. The first four are
 // syntactic invariant checks from PR 2; maporder, floatdet and resleak
-// are flow-sensitive (CFG + forward dataflow, internal/analysis/cfg).
-// See DESIGN.md §8 for the invariants and the //aggvet:allow exemption
-// convention.
+// are flow-sensitive (CFG + forward dataflow, internal/analysis/cfg);
+// pooluse, loopown and framecase are interprocedural, built on the
+// package call graph and bottom-up function summaries
+// (internal/analysis callgraph). See DESIGN.md §8 for the invariants
+// and the //aggvet:allow exemption convention.
+//
+// A second mode, `aggvet -allows <dir>...`, inventories every
+// //aggvet:allow directive under the given directories and fails if
+// any lacks a `-- rationale` clause; scripts/lint.sh runs it after
+// the vet pass.
 package main
 
 import (
+	"fmt"
+	"os"
+
 	"parallelagg/internal/analysis"
 	"parallelagg/internal/analysis/donesend"
 	"parallelagg/internal/analysis/floatdet"
+	"parallelagg/internal/analysis/framecase"
+	"parallelagg/internal/analysis/loopown"
 	"parallelagg/internal/analysis/maporder"
 	"parallelagg/internal/analysis/netdeadline"
+	"parallelagg/internal/analysis/pooluse"
 	"parallelagg/internal/analysis/resleak"
 	"parallelagg/internal/analysis/seededrand"
 	"parallelagg/internal/analysis/simclock"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-allows" {
+		if err := analysis.AllowInventory(os.Stdout, os.Args[2:]...); err != nil {
+			fmt.Fprintln(os.Stderr, "aggvet -allows:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	analysis.UnitMain(
 		simclock.Analyzer,
 		seededrand.Analyzer,
@@ -35,5 +55,8 @@ func main() {
 		maporder.Analyzer,
 		floatdet.Analyzer,
 		resleak.Analyzer,
+		pooluse.Analyzer,
+		loopown.Analyzer,
+		framecase.Analyzer,
 	)
 }

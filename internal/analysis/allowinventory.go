@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// AllowEntry is one //aggvet:allow directive found in the tree.
+type AllowEntry struct {
+	Pos       token.Position
+	Analyzers []string // names the directive suppresses
+	Rationale string   // text after "--", empty if absent
+}
+
+// CollectAllows walks the given roots (default ".") for .go files and
+// returns every //aggvet:allow directive in position order. Hidden
+// directories and testdata trees are skipped: fixture allows exercise
+// the suppression mechanism itself and are not part of the exemption
+// inventory.
+func CollectAllows(roots ...string) ([]AllowEntry, error) {
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	fset := token.NewFileSet()
+	var entries []AllowEntry
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if path != root && (name == "testdata" || strings.HasPrefix(name, ".")) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//")
+					if !ok {
+						continue // /* */ comments are never directives
+					}
+					rest, ok := strings.CutPrefix(strings.TrimSpace(text), allowPrefix)
+					if !ok {
+						continue
+					}
+					rationale := ""
+					if i := strings.Index(rest, "--"); i >= 0 {
+						rationale = strings.TrimSpace(rest[i+2:])
+						rest = rest[:i]
+					}
+					names := strings.FieldsFunc(rest, func(r rune) bool {
+						return r == ' ' || r == '\t' || r == ','
+					})
+					entries = append(entries, AllowEntry{
+						Pos:       fset.Position(c.Pos()),
+						Analyzers: names,
+						Rationale: rationale,
+					})
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].Pos, entries[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return entries, nil
+}
+
+// AllowInventory prints every //aggvet:allow directive under roots, one
+// per line, and returns an error if any directive is malformed: no
+// analyzer names, or no "-- rationale" clause. Every exemption in the
+// tree must say which invariant it opts out of and why.
+func AllowInventory(w io.Writer, roots ...string) error {
+	entries, err := CollectAllows(roots...)
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for _, e := range entries {
+		names := strings.Join(e.Analyzers, ",")
+		switch {
+		case len(e.Analyzers) == 0:
+			fmt.Fprintf(w, "%s:%d: BAD (no analyzer names)\n", e.Pos.Filename, e.Pos.Line)
+			bad++
+		case e.Rationale == "":
+			fmt.Fprintf(w, "%s:%d: %s BAD (missing \"-- rationale\")\n", e.Pos.Filename, e.Pos.Line, names)
+			bad++
+		default:
+			fmt.Fprintf(w, "%s:%d: %s -- %s\n", e.Pos.Filename, e.Pos.Line, names, e.Rationale)
+		}
+	}
+	fmt.Fprintf(w, "allows: %d total, %d malformed\n", len(entries), bad)
+	if bad > 0 {
+		return fmt.Errorf("%d //aggvet:allow directive(s) lack analyzer names or a \"-- rationale\" clause", bad)
+	}
+	return nil
+}

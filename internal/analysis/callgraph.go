@@ -1,0 +1,404 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the interprocedural layer of the framework: a
+// per-package call graph over go/ast, plus the two consumers every
+// summary-based analyzer needs — bottom-up SCC ordering (for computing
+// function summaries callee-first) and forward reachability (for
+// "which functions can this loop body call"). It is deliberately
+// modest, matching what single-package type information can resolve:
+//
+//   - direct calls to package-level functions (ident resolves to a
+//     *types.Func declared in this package);
+//   - method calls whose receiver has a known concrete type declared
+//     in this package (resolved through types.Info.Selections);
+//   - calls through variables bound exactly once to a func literal
+//     (v := func(){...}; ...; v()) — a second assignment to v makes
+//     every call through it unknown;
+//   - anonymous immediate calls func(){...}().
+//
+// Everything else — interface method calls, func-typed parameters and
+// fields, cross-package callees — resolves to a nil Callee. Analyzers
+// must treat a nil Callee as havoc: assume the worst the checked
+// invariant allows.
+type CallGraph struct {
+	// Nodes holds one node per function body in source order:
+	// FuncDecls first by file order, then FuncLits in traversal order.
+	Nodes []*FuncNode
+
+	byObj  map[*types.Func]*FuncNode
+	byLit  map[*ast.FuncLit]*FuncNode
+	byCall map[*ast.CallExpr]*CallSite
+	// litBinding maps a variable to the single FuncLit it is bound to,
+	// when that binding is unambiguous (exactly one assignment in the
+	// package, and its RHS is a literal).
+	litBinding map[*types.Var]*FuncNode
+}
+
+// A FuncNode is one function body: either a declared function/method
+// (Decl != nil) or a function literal (Lit != nil).
+type FuncNode struct {
+	// Obj is the declared function's object; nil for literals.
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+
+	// Calls lists every call expression lexically inside this body,
+	// excluding those inside nested literals (a nested literal is its
+	// own node; the binding or immediate call that runs it produces
+	// the edge).
+	Calls []*CallSite
+}
+
+// Body returns the function's block, never nil for a graph node.
+func (n *FuncNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Name returns a human-readable name for diagnostics: the declared
+// name, or "func literal" for anonymous functions.
+func (n *FuncNode) Name() string {
+	if n.Obj != nil {
+		return n.Obj.Name()
+	}
+	return "func literal"
+}
+
+// A CallSite is one call expression inside a FuncNode.
+type CallSite struct {
+	Call *ast.CallExpr
+
+	// Callee is the resolved target, or nil if the target is unknown
+	// (interface call, func value from elsewhere, other package).
+	Callee *FuncNode
+
+	// Go marks a call that starts a new goroutine (the call is the
+	// immediate expression of a `go` statement). Reachability for
+	// single-goroutine ownership must not follow Go edges.
+	Go bool
+
+	// Defer marks a deferred call. Deferred calls run in the same
+	// goroutine, so ownership reachability follows them.
+	Defer bool
+}
+
+// BuildCallGraph constructs the package call graph for files.
+func BuildCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{
+		byObj:      make(map[*types.Func]*FuncNode),
+		byLit:      make(map[*ast.FuncLit]*FuncNode),
+		byCall:     make(map[*ast.CallExpr]*CallSite),
+		litBinding: make(map[*types.Var]*FuncNode),
+	}
+
+	// Pass 1: one node per body.
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			n := &FuncNode{Decl: fd}
+			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+				n.Obj = obj
+				g.byObj[obj] = n
+			}
+			g.Nodes = append(g.Nodes, n)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				node := &FuncNode{Lit: lit}
+				g.byLit[lit] = node
+				g.Nodes = append(g.Nodes, node)
+			}
+			return true
+		})
+	}
+
+	// Pass 2: single-assignment literal bindings. Count every
+	// assignment to each variable; only vars written exactly once,
+	// by a literal, get a binding.
+	writes := make(map[*types.Var]int)
+	binding := make(map[*types.Var]*ast.FuncLit)
+	note := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := objectOf(info, id).(*types.Var)
+		if !ok {
+			return
+		}
+		writes[v]++
+		if lit, ok := rhs.(*ast.FuncLit); ok {
+			binding[v] = lit
+		}
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					var rhs ast.Expr
+					if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
+						rhs = n.Rhs[i]
+					}
+					note(lhs, rhs)
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					var rhs ast.Expr
+					if i < len(n.Values) {
+						rhs = n.Values[i]
+					}
+					note(name, rhs)
+				}
+			case *ast.UnaryExpr:
+				// &v escapes the variable: any call through it later
+				// could run a different literal. Treat as a write.
+				if id, ok := n.X.(*ast.Ident); ok {
+					if v, ok := objectOf(info, id).(*types.Var); ok {
+						writes[v]++
+					}
+				}
+			}
+			return true
+		})
+	}
+	for v, lit := range binding {
+		if writes[v] == 1 {
+			if node := g.byLit[lit]; node != nil {
+				g.litBinding[v] = node
+			}
+		}
+	}
+
+	// Pass 3: call sites. Walk each body, skipping nested literals.
+	for _, n := range g.Nodes {
+		g.collectCalls(n, info)
+	}
+	return g
+}
+
+func (g *CallGraph) collectCalls(n *FuncNode, info *types.Info) {
+	body := n.Body()
+	WalkStack(body, func(node ast.Node, stack []ast.Node) bool {
+		if lit, ok := node.(*ast.FuncLit); ok && lit != n.Lit {
+			return false // nested literal: its calls belong to its own node
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		site := &CallSite{Call: call, Callee: g.resolve(call, info)}
+		if len(stack) > 0 {
+			switch parent := stack[len(stack)-1].(type) {
+			case *ast.GoStmt:
+				site.Go = parent.Call == call
+			case *ast.DeferStmt:
+				site.Defer = parent.Call == call
+			}
+		}
+		n.Calls = append(n.Calls, site)
+		g.byCall[call] = site
+		return true
+	})
+}
+
+// resolve maps a call expression to its target node, or nil (havoc).
+func (g *CallGraph) resolve(call *ast.CallExpr, info *types.Info) *FuncNode {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := objectOf(info, fun).(type) {
+		case *types.Func:
+			return g.byObj[obj] // same-package decl, else nil
+		case *types.Var:
+			return g.litBinding[obj]
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if m, ok := sel.Obj().(*types.Func); ok {
+				return g.byObj[m] // concrete method in this package, else nil
+			}
+			return nil
+		}
+		// Qualified identifier pkg.F: cross-package, unknown.
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return g.byObj[obj]
+		}
+	case *ast.FuncLit:
+		return g.byLit[fun]
+	}
+	return nil
+}
+
+// NodeOf returns the node for a declared function object, or nil.
+func (g *CallGraph) NodeOf(obj *types.Func) *FuncNode { return g.byObj[obj] }
+
+// LitNode returns the node for a function literal, or nil.
+func (g *CallGraph) LitNode(lit *ast.FuncLit) *FuncNode { return g.byLit[lit] }
+
+// CalleeOf returns the resolved target of a call recorded in the
+// graph, or nil for unknown callees and calls outside any node.
+func (g *CallGraph) CalleeOf(call *ast.CallExpr) *FuncNode {
+	if site := g.byCall[call]; site != nil {
+		return site.Callee
+	}
+	return nil
+}
+
+// SCCs returns the strongly connected components of the graph in
+// bottom-up (callee-first) order: every component appears after all
+// components it calls into. Summary computations iterate components in
+// this order, running each component's members to a local fixed point
+// (mutual recursion converges because summaries are finite and the
+// per-component iteration is monotone).
+func (g *CallGraph) SCCs() [][]*FuncNode {
+	// Iterative Tarjan. Edges point caller -> callee, and Tarjan emits
+	// a component only once every component reachable from it has been
+	// emitted, which is exactly callee-first.
+	index := make(map[*FuncNode]int, len(g.Nodes))
+	low := make(map[*FuncNode]int, len(g.Nodes))
+	onStack := make(map[*FuncNode]bool, len(g.Nodes))
+	var stack []*FuncNode
+	var comps [][]*FuncNode
+	next := 0
+
+	type frame struct {
+		n  *FuncNode
+		ei int // next call edge to follow
+	}
+	for _, root := range g.Nodes {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{n: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			fr := &work[len(work)-1]
+			advanced := false
+			for fr.ei < len(fr.n.Calls) {
+				callee := fr.n.Calls[fr.ei].Callee
+				fr.ei++
+				if callee == nil {
+					continue
+				}
+				if _, seen := index[callee]; !seen {
+					index[callee], low[callee] = next, next
+					next++
+					stack = append(stack, callee)
+					onStack[callee] = true
+					work = append(work, frame{n: callee})
+					advanced = true
+					break
+				}
+				if onStack[callee] && low[fr.n] > index[callee] {
+					low[fr.n] = index[callee]
+				}
+			}
+			if advanced {
+				continue
+			}
+			n := fr.n
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].n
+				if low[parent] > low[n] {
+					low[parent] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				var comp []*FuncNode
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					comp = append(comp, top)
+					if top == n {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// Reachable returns the set of nodes reachable from roots along call
+// edges. When sameGoroutine is true, `go` edges are not followed — the
+// result is the closure of functions that can run on the goroutine(s)
+// that execute the roots (deferred calls are included: they run on the
+// same goroutine).
+func (g *CallGraph) Reachable(roots []*FuncNode, sameGoroutine bool) map[*FuncNode]bool {
+	reach := make(map[*FuncNode]bool)
+	var visit func(n *FuncNode)
+	visit = func(n *FuncNode) {
+		if n == nil || reach[n] {
+			return
+		}
+		reach[n] = true
+		for _, site := range n.Calls {
+			if site.Callee == nil {
+				continue
+			}
+			if sameGoroutine && site.Go {
+				continue
+			}
+			visit(site.Callee)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return reach
+}
+
+// Summaries computes a per-function summary bottom-up over the SCCs.
+// compute derives one function's summary; it reads callee summaries
+// through get, which returns the zero value for unknown callees (nil
+// nodes) and for not-yet-computed members of the same component —
+// the component is iterated until no member's summary changes, so
+// mutually recursive functions converge as long as compute is monotone
+// over a finite summary domain.
+func Summaries[S comparable](g *CallGraph, compute func(n *FuncNode, get func(*FuncNode) S) S) map[*FuncNode]S {
+	sums := make(map[*FuncNode]S, len(g.Nodes))
+	get := func(n *FuncNode) S {
+		var zero S
+		if n == nil {
+			return zero
+		}
+		return sums[n]
+	}
+	for _, comp := range g.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range comp {
+				s := compute(n, get)
+				if s != sums[n] {
+					sums[n] = s
+					changed = true
+				}
+			}
+		}
+	}
+	return sums
+}
+
+// objectOf resolves an identifier through Defs then Uses.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}

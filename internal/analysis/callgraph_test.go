@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func buildGraph(t *testing.T, src string) (*CallGraph, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "g.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("g", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return BuildCallGraph([]*ast.File{f}, info), info
+}
+
+func nodeNamed(t *testing.T, g *CallGraph, name string) *FuncNode {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Obj != nil && n.Obj.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %s", name)
+	return nil
+}
+
+// calleeNames returns the resolved callee names of a node's call
+// sites, "?" for unknown callees.
+func calleeNames(n *FuncNode) []string {
+	var out []string
+	for _, site := range n.Calls {
+		if site.Callee == nil {
+			out = append(out, "?")
+		} else {
+			out = append(out, site.Callee.Name())
+		}
+	}
+	return out
+}
+
+func TestCallGraphDirectAndMethodCalls(t *testing.T) {
+	g, _ := buildGraph(t, `package g
+import "sort"
+type box struct{ n int }
+func (b *box) bump() { b.n++ }
+func helper() {}
+func top(b *box) {
+	helper()
+	b.bump()
+	sort.Strings(nil)
+}
+`)
+	top := nodeNamed(t, g, "top")
+	got := strings.Join(calleeNames(top), ",")
+	if got != "helper,bump,?" {
+		t.Fatalf("top callees = %q, want helper,bump,?", got)
+	}
+}
+
+func TestCallGraphFuncLitBinding(t *testing.T) {
+	g, _ := buildGraph(t, `package g
+func lit() {}
+func once() {
+	f := func() { lit() }
+	f()
+}
+func twice() {
+	f := func() { lit() }
+	f = func() {}
+	f()
+}
+func escaped() {
+	f := func() { lit() }
+	_ = &f
+	f()
+}
+func anon() {
+	func() { lit() }()
+}
+`)
+	// once: the lone binding resolves; its callee is the literal,
+	// whose own callee is lit.
+	once := nodeNamed(t, g, "once")
+	if got := strings.Join(calleeNames(once), ","); got != "func literal" {
+		t.Fatalf("once callees = %q, want the bound literal", got)
+	}
+	litNode := once.Calls[0].Callee
+	if got := strings.Join(calleeNames(litNode), ","); got != "lit" {
+		t.Fatalf("bound literal callees = %q, want lit", got)
+	}
+	// twice: reassigned, so the call is unknown.
+	twice := nodeNamed(t, g, "twice")
+	if got := strings.Join(calleeNames(twice), ","); got != "?" {
+		t.Fatalf("twice callees = %q, want ?", got)
+	}
+	// escaped: &f taken, so the call is unknown.
+	escaped := nodeNamed(t, g, "escaped")
+	if got := strings.Join(calleeNames(escaped), ","); got != "?" {
+		t.Fatalf("escaped callees = %q, want ?", got)
+	}
+	// anon: immediate call resolves to the literal.
+	anon := nodeNamed(t, g, "anon")
+	if len(anon.Calls) != 1 || anon.Calls[0].Callee == nil || anon.Calls[0].Callee.Lit == nil {
+		t.Fatalf("anon call should resolve to its literal: %v", calleeNames(anon))
+	}
+}
+
+func TestCallGraphInterfaceCallIsUnknown(t *testing.T) {
+	g, _ := buildGraph(t, `package g
+type doer interface{ do() }
+func run(d doer) { d.do() }
+`)
+	run := nodeNamed(t, g, "run")
+	if got := strings.Join(calleeNames(run), ","); got != "?" {
+		t.Fatalf("interface call resolved to %q, want ?", got)
+	}
+}
+
+func TestCallGraphGoAndDeferFlags(t *testing.T) {
+	g, _ := buildGraph(t, `package g
+func a() {}
+func b() {}
+func c() {}
+func top() {
+	go a()
+	defer b()
+	c()
+}
+`)
+	top := nodeNamed(t, g, "top")
+	if len(top.Calls) != 3 {
+		t.Fatalf("top has %d calls, want 3", len(top.Calls))
+	}
+	for _, site := range top.Calls {
+		switch site.Callee.Name() {
+		case "a":
+			if !site.Go || site.Defer {
+				t.Errorf("go a(): Go=%v Defer=%v", site.Go, site.Defer)
+			}
+		case "b":
+			if site.Go || !site.Defer {
+				t.Errorf("defer b(): Go=%v Defer=%v", site.Go, site.Defer)
+			}
+		case "c":
+			if site.Go || site.Defer {
+				t.Errorf("c(): Go=%v Defer=%v", site.Go, site.Defer)
+			}
+		}
+	}
+}
+
+func TestSCCsBottomUp(t *testing.T) {
+	g, _ := buildGraph(t, `package g
+func leaf() {}
+func evenRec(n int) { if n > 0 { oddRec(n - 1) } }
+func oddRec(n int) { if n > 0 { evenRec(n - 1) }; leaf() }
+func top() { evenRec(4) }
+`)
+	comps := g.SCCs()
+	pos := make(map[string]int)
+	for i, comp := range comps {
+		for _, n := range comp {
+			pos[n.Name()] = i
+		}
+	}
+	if pos["evenRec"] != pos["oddRec"] {
+		t.Fatalf("mutual recursion split across components: %v", pos)
+	}
+	if !(pos["leaf"] < pos["evenRec"] && pos["evenRec"] < pos["top"]) {
+		t.Fatalf("not callee-first: leaf=%d evenRec=%d top=%d",
+			pos["leaf"], pos["evenRec"], pos["top"])
+	}
+}
+
+func TestReachableSameGoroutine(t *testing.T) {
+	g, _ := buildGraph(t, `package g
+func sync1() {}
+func deferred() {}
+func spawned() {}
+func loop() {
+	sync1()
+	defer deferred()
+	go spawned()
+}
+`)
+	reach := g.Reachable([]*FuncNode{nodeNamed(t, g, "loop")}, true)
+	if !reach[nodeNamed(t, g, "sync1")] || !reach[nodeNamed(t, g, "deferred")] {
+		t.Fatalf("synchronous and deferred callees must be reachable")
+	}
+	if reach[nodeNamed(t, g, "spawned")] {
+		t.Fatalf("go-spawned callee must not be in same-goroutine closure")
+	}
+	// Cross-goroutine closure does include it.
+	all := g.Reachable([]*FuncNode{nodeNamed(t, g, "loop")}, false)
+	if !all[nodeNamed(t, g, "spawned")] {
+		t.Fatalf("all-goroutine closure should include spawned")
+	}
+}
+
+func TestSummariesBottomUpAndRecursion(t *testing.T) {
+	g, _ := buildGraph(t, `package g
+func leaf() {}
+func mid() { leaf() }
+func recA(n int) { if n > 0 { recB(n - 1) } }
+func recB(n int) { if n > 0 { recA(n - 1) }; leaf() }
+func top() { mid(); recA(3) }
+`)
+	// Summary: does the function (transitively) call leaf?
+	leaf := nodeNamed(t, g, "leaf")
+	sums := Summaries(g, func(n *FuncNode, get func(*FuncNode) bool) bool {
+		if n == leaf {
+			return true
+		}
+		for _, site := range n.Calls {
+			if site.Callee != nil && get(site.Callee) {
+				return true
+			}
+		}
+		return false
+	})
+	for _, name := range []string{"mid", "recA", "recB", "top"} {
+		if !sums[nodeNamed(t, g, name)] {
+			t.Errorf("%s should transitively reach leaf", name)
+		}
+	}
+}

@@ -347,6 +347,91 @@ func TestSelectClausesJoin(t *testing.T) {
 	}
 }
 
+func TestSelectWithoutDefaultHasNoBypass(t *testing.T) {
+	// Unlike a switch, a select with no default blocks until some clause
+	// fires: there is no skip-every-clause path, so a kill in the only
+	// clause is total at the join.
+	got := exitFacts(t, `
+		genA()
+		select {
+		case <-ch:
+			killA()
+		}
+	`, nil)
+	if len(got) != 0 {
+		t.Errorf("exit facts = %v, want [] (no bypass edge around a default-less select)", got)
+	}
+	// With a default clause the kill is partial again: the default path
+	// reaches the join with A intact.
+	got = exitFacts(t, `
+		genA()
+		select {
+		case <-ch:
+			killA()
+		default:
+			genB()
+		}
+	`, nil)
+	if !eq(got, []string{"A", "B"}) {
+		t.Errorf("exit facts = %v, want [A B] (default path skips the kill)", got)
+	}
+}
+
+func TestLabeledContinueInNestedLoops(t *testing.T) {
+	// continue L from the inner loop jumps to the OUTER loop's post
+	// statement, skipping both the inner loop's remaining body and the
+	// outer statements after the inner loop — so neither kill runs on
+	// that path and A escapes.
+	got := exitFacts(t, `
+	L:
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				genA()
+				if c {
+					continue L
+				}
+				killA()
+			}
+			killA()
+		}
+	`, nil)
+	if !eq(got, []string{"A"}) {
+		t.Errorf("exit facts = %v, want [A] (continue L must bypass both kills)", got)
+	}
+	// A plain continue only re-enters the inner loop: the outer kill
+	// after the inner loop still runs on every path out, so A dies.
+	got = exitFacts(t, `
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				genA()
+				if c {
+					continue
+				}
+			}
+			killA()
+		}
+	`, nil)
+	if len(got) != 0 {
+		t.Errorf("exit facts = %v, want [] (plain continue stays in the inner loop)", got)
+	}
+}
+
+func TestFuncLitBodyIsOpaque(t *testing.T) {
+	// A function literal's body belongs to its own graph (FuncBodies
+	// visits it separately): its statements must not transfer facts in
+	// the enclosing function's dataflow, in either direction.
+	got := exitFacts(t, `
+		genA()
+		_ = func() {
+			killA()
+			genB()
+		}
+	`, nil)
+	if !eq(got, []string{"A"}) {
+		t.Errorf("exit facts = %v, want [A] (literal body leaked into enclosing flow)", got)
+	}
+}
+
 func TestInfiniteLoopOnlyExitsViaBreak(t *testing.T) {
 	got := exitFacts(t, `
 		genA()

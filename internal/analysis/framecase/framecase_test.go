@@ -1,0 +1,12 @@
+package framecase_test
+
+import (
+	"testing"
+
+	"parallelagg/internal/analysis/analysistest"
+	"parallelagg/internal/analysis/framecase"
+)
+
+func TestFramecase(t *testing.T) {
+	analysistest.Run(t, "testdata", framecase.Analyzer, "a")
+}

@@ -1,0 +1,123 @@
+package a
+
+// The wire enum under test: marked exhaustive.
+//
+//aggvet:exhaustive
+type frameKind byte
+
+const (
+	frameRaw frameKind = iota + 1
+	framePartial
+	frameEOS
+)
+
+// Declared elsewhere in the package: still counts.
+const frameHeartbeat frameKind = 9
+
+// An unmarked enum: switches over it are never checked.
+type opKind byte
+
+const (
+	opRead opKind = iota
+	opWrite
+)
+
+var errBad = error(nil)
+
+// All four constants covered, no default needed.
+func full(k frameKind) int {
+	switch k {
+	case frameRaw:
+		return 1
+	case framePartial, frameEOS:
+		return 2
+	case frameHeartbeat:
+		return 3
+	}
+	return 0
+}
+
+// Missing kinds and no default at all.
+func missingNoDefault(k frameKind) int {
+	switch k { // want `switch on frameKind does not cover frameEOS, frameHeartbeat and has no default`
+	case frameRaw:
+		return 1
+	case framePartial:
+		return 2
+	}
+	return 0
+}
+
+// Missing kinds, but the default rejects them with a return.
+func missingWithReturningDefault(k frameKind) error {
+	switch k {
+	case frameRaw:
+		return nil
+	default:
+		return errBad
+	}
+}
+
+// Missing kinds, and the default panics: also an explicit decision.
+func missingWithPanickingDefault(k frameKind) int {
+	switch k {
+	case frameRaw:
+		return 1
+	default:
+		panic("unknown frame kind")
+	}
+}
+
+// Missing kinds with a default that neither returns nor panics — the
+// silent frame drop the rule exists for.
+func missingWithSilentDefault(k frameKind) int {
+	n := 0
+	switch k { // want `switch on frameKind does not cover frameEOS, frameHeartbeat, framePartial and its default falls through silently`
+	case frameRaw:
+		n = 1
+	default:
+		n = 2
+	}
+	return n
+}
+
+// A return inside a nested literal does not count as rejecting the
+// unknown kind in this function.
+func defaultReturnsOnlyInClosure(k frameKind) int {
+	switch k { // want `switch on frameKind does not cover frameEOS, frameHeartbeat, framePartial and its default falls through silently`
+	case frameRaw:
+		return 1
+	default:
+		f := func() int { return 2 }
+		_ = f
+	}
+	return 0
+}
+
+// Unmarked type: missing cases are fine.
+func unmarked(k opKind) int {
+	switch k {
+	case opRead:
+		return 1
+	}
+	return 0
+}
+
+// Tagless switch over boolean arms: never checked.
+func tagless(k frameKind) int {
+	switch {
+	case k == frameRaw:
+		return 1
+	}
+	return 0
+}
+
+// Suppressed with a rationale.
+func allowed(k frameKind) int {
+	//aggvet:allow framecase -- legacy dispatch, migrated in the next wire bump
+	switch k {
+	case frameRaw:
+		return 1
+	}
+	return 0
+}

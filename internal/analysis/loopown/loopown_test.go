@@ -1,0 +1,12 @@
+package loopown_test
+
+import (
+	"testing"
+
+	"parallelagg/internal/analysis/analysistest"
+	"parallelagg/internal/analysis/loopown"
+)
+
+func TestLoopown(t *testing.T) {
+	analysistest.Run(t, "testdata", loopown.Analyzer, "a", "b")
+}

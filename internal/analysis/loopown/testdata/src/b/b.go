@@ -1,0 +1,12 @@
+package b
+
+// An owner tag with no //aggvet:loop function is a misconfiguration,
+// not a silent pass.
+type orphan struct {
+	//aggvet:owner ticker
+	count int // want `no function is marked //aggvet:loop ticker`
+}
+
+func bump(o *orphan) {
+	o.count++
+}

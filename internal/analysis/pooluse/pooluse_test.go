@@ -1,0 +1,15 @@
+package pooluse_test
+
+import (
+	"testing"
+
+	"parallelagg/internal/analysis/analysistest"
+	"parallelagg/internal/analysis/pooluse"
+)
+
+func TestPooluse(t *testing.T) {
+	analysistest.Run(t, "testdata", pooluse.Analyzer,
+		"parallelagg/internal/live",
+		"parallelagg/other",
+	)
+}

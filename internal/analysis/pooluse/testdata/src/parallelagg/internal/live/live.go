@@ -1,0 +1,142 @@
+package live
+
+import "sync"
+
+type batch struct {
+	n  int
+	ts []int
+}
+
+type msg struct {
+	raw  *batch
+	part *batch
+}
+
+// The normal pooled lifecycle: get, use, put. No diagnostics.
+func fine(p *sync.Pool) {
+	b := p.Get().(*batch)
+	b.n++
+	p.Put(b)
+}
+
+// Direct use-after-Put.
+func useAfterPut(p *sync.Pool, b *batch) {
+	p.Put(b)
+	_ = b.n // want `b.n is used after being returned to its sync.Pool`
+}
+
+// Writing into a pooled object is as bad as reading it.
+func writeAfterPut(p *sync.Pool, b *batch) {
+	p.Put(b)
+	b.n = 7 // want `b.n is used after being returned to its sync.Pool`
+}
+
+// Double-Put: the classic "two frees".
+func doublePut(p *sync.Pool, b *batch) {
+	p.Put(b)
+	p.Put(b) // want `b is returned to its sync.Pool twice`
+}
+
+// May-analysis: a Put on one branch poisons the join.
+func branchJoin(p *sync.Pool, b *batch, done bool) {
+	if done {
+		p.Put(b)
+	}
+	_ = b.n // want `b.n is used after being returned to its sync.Pool`
+}
+
+// Re-sending a pooled buffer hands the next Get's owner a live alias.
+func resend(p *sync.Pool, ch chan *batch, b *batch) {
+	p.Put(b)
+	ch <- b // want `b is used after being returned to its sync.Pool`
+}
+
+// Putting a struct's field tracks the field chain, not the struct:
+// the sibling field stays usable.
+func fieldPut(p *sync.Pool, m *msg) {
+	p.Put(m.raw)
+	_ = m.part.n
+	_ = m.raw.n // want `m.raw.n is used after being returned to its sync.Pool`
+}
+
+// Putting the whole struct poisons everything hanging off it.
+func wholePut(p *sync.Pool, ch chan *batch, m *msg) {
+	p.Put(m)
+	ch <- m.raw // want `m.raw is used after being returned to its sync.Pool`
+}
+
+// A strong update rebinds the chain to a fresh object.
+func strongUpdate(p *sync.Pool, m *msg) {
+	p.Put(m.raw)
+	m.raw = &batch{}
+	m.raw.n = 1
+}
+
+// Range loops rebind their iteration variables every trip: putting
+// this iteration's batch says nothing about the next one.
+func drain(p *sync.Pool, ch chan *batch) {
+	for b := range ch {
+		b.n++
+		p.Put(b)
+	}
+}
+
+// release Puts its parameter; callers inherit the obligation through
+// the function summary.
+func release(p *sync.Pool, b *batch) {
+	p.Put(b)
+}
+
+func viaHelper(p *sync.Pool, b *batch) {
+	release(p, b)
+	_ = b.n // want `b.n is used after being returned to its sync.Pool`
+}
+
+// releaseRaw Puts a field chain of its parameter; the summary carries
+// the path, so only that chain is poisoned at the call site.
+func releaseRaw(p *sync.Pool, m *msg) {
+	p.Put(m.raw)
+}
+
+func viaFieldSummary(p *sync.Pool, m *msg) {
+	releaseRaw(p, m)
+	_ = m.part.n
+	_ = m.raw.n // want `m.raw.n is used after being returned to its sync.Pool`
+}
+
+// Summaries flow through methods too, with the receiver as parameter 0.
+type pools struct {
+	raw sync.Pool
+}
+
+func (ps *pools) putRaw(b *batch) {
+	ps.raw.Put(b)
+}
+
+func viaMethod(ps *pools, b *batch) {
+	ps.putRaw(b)
+	b.n = 1 // want `b.n is used after being returned to its sync.Pool`
+}
+
+// Two hops: the summary composes bottom-up.
+func releaseTwice(p *sync.Pool, b *batch) {
+	release(p, b)
+}
+
+func viaTwoHops(p *sync.Pool, b *batch) {
+	releaseTwice(p, b)
+	_ = b.ts // want `b.ts is used after being returned to its sync.Pool`
+}
+
+// A Put inside a deferred closure runs at function exit: the body's
+// own uses are fine, and the closure is analyzed on its own.
+func deferredPut(p *sync.Pool, b *batch) {
+	defer func() { p.Put(b) }()
+	b.n++
+}
+
+// Suppressed with a rationale.
+func allowed(p *sync.Pool, b *batch) {
+	p.Put(b)
+	_ = b.n //aggvet:allow pooluse -- deliberate post-Put peek in a test harness
+}

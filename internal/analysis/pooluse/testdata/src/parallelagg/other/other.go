@@ -1,0 +1,12 @@
+// Package other is outside pooluse's scope (internal/live,
+// internal/dist): even a blatant use-after-Put draws no diagnostic.
+package other
+
+import "sync"
+
+type blob struct{ n int }
+
+func unscoped(p *sync.Pool, b *blob) {
+	p.Put(b)
+	_ = b.n
+}

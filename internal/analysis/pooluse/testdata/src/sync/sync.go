@@ -1,0 +1,17 @@
+// Package sync is a hermetic stub of the standard library's sync for
+// the pooluse fixtures: just enough of Pool for the analyzer's
+// type-based matching ("Pool" named type in package path "sync").
+package sync
+
+type Pool struct {
+	New func() any
+}
+
+func (p *Pool) Get() any {
+	if p.New != nil {
+		return p.New()
+	}
+	return nil
+}
+
+func (p *Pool) Put(x any) {}

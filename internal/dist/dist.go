@@ -466,6 +466,14 @@ func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, erro
 				for _, pt := range in.f.partials {
 					absorb(pt)
 				}
+			default:
+				// readFrame rejects kinds outside the fail-fast dialect, so
+				// reaching here means a tolerant-mode control frame leaked
+				// into a fail-fast cluster: abort rather than drop it.
+				mergeErr = &NodeError{NodeID: cfg.ID, Phase: PhaseMerge,
+					Err: fmt.Errorf("unexpected frame kind %d in fail-fast mode", in.f.kind)}
+				cancel()
+				return
 			}
 		}
 	}()

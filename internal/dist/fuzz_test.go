@@ -40,12 +40,12 @@ func encodePartialFrame(ps []tuple.Partial) []byte {
 // inputs this fuzzer generates.
 func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{frameEOS, 0, 0, 0, 0})
-	f.Add([]byte{frameEOP, 0, 0, 0, 0})
-	f.Add([]byte{frameRaw, 255, 255, 255, 255})         // absurd count, no data
-	f.Add([]byte{framePartial, 0, 0, 16, 0})            // 1M partials claimed, none sent
-	f.Add([]byte{frameRaw, 2, 0, 0, 0, 1, 2, 3})        // truncated records
-	f.Add([]byte{9, 1, 0, 0, 0})                        // unknown kind
+	f.Add([]byte{byte(frameEOS), 0, 0, 0, 0})
+	f.Add([]byte{byte(frameEOP), 0, 0, 0, 0})
+	f.Add([]byte{byte(frameRaw), 255, 255, 255, 255})  // absurd count, no data
+	f.Add([]byte{byte(framePartial), 0, 0, 16, 0})     // 1M partials claimed, none sent
+	f.Add([]byte{byte(frameRaw), 2, 0, 0, 0, 1, 2, 3}) // truncated records
+	f.Add([]byte{9, 1, 0, 0, 0})                       // unknown kind
 	f.Add(encodeRawFrame([]tuple.Tuple{{Key: 1, Val: -7}, {Key: 99, Val: 42}}))
 	f.Add(encodePartialFrame([]tuple.Partial{{Key: 3, State: tuple.NewState(5)}}))
 

@@ -13,7 +13,7 @@ import (
 // frameHello is a pseudo frame kind used only for metric labels: the
 // 4-byte hello handshake is not a framed message but its bytes still
 // count toward per-peer traffic.
-const frameHello = 0
+const frameHello frameKind = 0
 
 // metrics is one node's bound instrument set over the shared registry.
 // A nil *metrics (no registry configured) no-ops everywhere, so the
@@ -93,8 +93,8 @@ func newMetrics(r *obs.Registry, id int) *metrics {
 	}
 }
 
-// kindName maps a frame kind byte to its metric label.
-func kindName(kind byte) string {
+// kindName maps a frame kind to its metric label.
+func kindName(kind frameKind) string {
 	switch kind {
 	case frameHello:
 		return "hello"
@@ -124,7 +124,7 @@ func kindName(kind byte) string {
 }
 
 // frameBytes is the wire size of a frame with the given record count.
-func frameBytes(kind byte, count int) int64 {
+func frameBytes(kind frameKind, count int) int64 {
 	switch kind {
 	case frameHello:
 		return 4
@@ -137,7 +137,7 @@ func frameBytes(kind byte, count int) int64 {
 	}
 }
 
-func (m *metrics) sent(peer int, kind byte, count int) {
+func (m *metrics) sent(peer int, kind frameKind, count int) {
 	if m == nil {
 		return
 	}
@@ -146,7 +146,7 @@ func (m *metrics) sent(peer int, kind byte, count int) {
 	m.bytesSent.With(m.node, p).Add(frameBytes(kind, count))
 }
 
-func (m *metrics) recv(peer int, kind byte, count int) {
+func (m *metrics) recv(peer int, kind frameKind, count int) {
 	if m == nil {
 		return
 	}
@@ -157,7 +157,7 @@ func (m *metrics) recv(peer int, kind byte, count int) {
 
 // tFrameBytes is the wire size of a tolerant-mode frame: the 12-byte
 // tagged header plus records (hello stays 4 bytes).
-func tFrameBytes(kind byte, count int) int64 {
+func tFrameBytes(kind frameKind, count int) int64 {
 	switch kind {
 	case frameHello:
 		return 4
@@ -170,7 +170,7 @@ func tFrameBytes(kind byte, count int) int64 {
 	}
 }
 
-func (m *metrics) tsent(peer int, kind byte, count int) {
+func (m *metrics) tsent(peer int, kind frameKind, count int) {
 	if m == nil {
 		return
 	}
@@ -179,7 +179,7 @@ func (m *metrics) tsent(peer int, kind byte, count int) {
 	m.bytesSent.With(m.node, p).Add(tFrameBytes(kind, count))
 }
 
-func (m *metrics) trecv(peer int, kind byte, count int) {
+func (m *metrics) trecv(peer int, kind frameKind, count int) {
 	if m == nil {
 		return
 	}

@@ -48,14 +48,14 @@ import (
 
 // Event types delivered to the control loop.
 const (
-	evFrame     = iota // a decoded frame from an inbound connection
-	evReadErr          // an inbound connection died
-	evComplaint        // a local I/O failure toward a peer (scan/heartbeat side)
-	evScanDone         // the primary scan finished
-	evJobDone          // one queued recovery job finished
-	evTick             // supervisor clock tick (node 0 only)
-	evFatal            // unrecoverable local failure
-	evAcceptDone       // the accept loop exited; peer carries the conn count
+	evFrame      = iota // a decoded frame from an inbound connection
+	evReadErr           // an inbound connection died
+	evComplaint         // a local I/O failure toward a peer (scan/heartbeat side)
+	evScanDone          // the primary scan finished
+	evJobDone           // one queued recovery job finished
+	evTick              // supervisor clock tick (node 0 only)
+	evFatal             // unrecoverable local failure
+	evAcceptDone        // the accept loop exited; peer carries the conn count
 )
 
 type tevent struct {
@@ -177,7 +177,7 @@ func (p *tpeer) helloT(src int) error {
 	return nil
 }
 
-func (p *tpeer) control(kind byte, origin, epoch int, aux uint32) error {
+func (p *tpeer) control(kind frameKind, origin, epoch int, aux uint32) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.controlLocked(kind, origin, epoch, aux)
@@ -186,7 +186,7 @@ func (p *tpeer) control(kind byte, origin, epoch int, aux uint32) error {
 // tryControl is control with TryLock: the heartbeat ticker uses it so a
 // write blocked on one stuck peer cannot delay beacons to the others.
 // Skipped rounds (lock busy) return errPeerDown-like silence: (nil, false).
-func (p *tpeer) tryControl(kind byte, origin, epoch int, aux uint32) (error, bool) {
+func (p *tpeer) tryControl(kind frameKind, origin, epoch int, aux uint32) (error, bool) {
 	if p.down.Load() {
 		return nil, false
 	}
@@ -197,7 +197,7 @@ func (p *tpeer) tryControl(kind byte, origin, epoch int, aux uint32) (error, boo
 	return p.controlLocked(kind, origin, epoch, aux), true
 }
 
-func (p *tpeer) controlLocked(kind byte, origin, epoch int, aux uint32) error {
+func (p *tpeer) controlLocked(kind frameKind, origin, epoch int, aux uint32) error {
 	if p.down.Load() {
 		return errPeerDown
 	}
@@ -274,29 +274,58 @@ type tnode struct {
 	switched              bool
 
 	// --- control-loop state ---
-	final      map[tuple.Key]tuple.AggState
-	slots      map[slotKey]*slot
-	stages     map[streamID]*stage
-	pending    map[streamID]bool // complete streams parked until their epoch's assign arrives
-	epochs     map[int]bool      // epochs whose assign this node has processed
-	owner      []int             // authoritative owner table (published via ownerPtr)
-	assignee   []int             // partition -> responsible node
-	deadPeers  []bool
+	// Every field below is owned by the control() goroutine: other
+	// goroutines communicate through nd.events instead of touching
+	// these directly. The //aggvet:owner tags make loopown enforce
+	// that; the only sanctioned exceptions (construction in newTnode,
+	// post-join reads in runNodeTolerant) carry rationaled allows.
+	//
+	//aggvet:owner control
+	final map[tuple.Key]tuple.AggState
+	//aggvet:owner control
+	slots map[slotKey]*slot
+	//aggvet:owner control
+	stages map[streamID]*stage
+	//aggvet:owner control
+	pending map[streamID]bool // complete streams parked until their epoch's assign arrives
+	//aggvet:owner control
+	epochs map[int]bool // epochs whose assign this node has processed
+	//aggvet:owner control
+	owner []int // authoritative owner table (published via ownerPtr)
+	//aggvet:owner control
+	assignee []int // partition -> responsible node
+	//aggvet:owner control
+	deadPeers []bool
+	//aggvet:owner control
 	complained []bool
-	inbound      map[int]net.Conn
-	helloFails   int  // inbound conns that died before identifying themselves
-	inboundDead  int  // inbound conns that died, identified or not
-	acceptedCap  int  // total conns the accept loop delivered (valid once closed)
+	//aggvet:owner control
+	inbound map[int]net.Conn
+	//aggvet:owner control
+	helloFails int // inbound conns that died before identifying themselves
+	//aggvet:owner control
+	inboundDead int // inbound conns that died, identified or not
+	//aggvet:owner control
+	acceptedCap int // total conns the accept loop delivered (valid once closed)
+	//aggvet:owner control
 	acceptClosed bool // the accept loop exited; no new inbound will ever arrive
-	everHello    bool // at least one inbound hello completed
-	queuedJobs   int
+	//aggvet:owner control
+	everHello bool // at least one inbound hello completed
+	//aggvet:owner control
+	queuedJobs int
+	//aggvet:owner control
 	scanFinished bool
-	maxEpoch     int
+	//aggvet:owner control
+	maxEpoch int
+	//aggvet:owner control
 	lastDoneSent int
-	sup          *supervisor // node 0 only
-	finished     bool
-	evicted      bool
-	fatal        error
+	//aggvet:owner control
+	sup *supervisor // node 0 only
+	//aggvet:owner control
+	finished bool
+	//aggvet:owner control
+	evicted bool
+	//aggvet:owner control
+	fatal error
 }
 
 func newTnode(ln net.Listener, cfg Config, part []tuple.Tuple) *tnode {
@@ -325,6 +354,7 @@ func newTnode(ln net.Listener, cfg Config, part []tuple.Tuple) *tnode {
 		inbound:      make(map[int]net.Conn),
 		lastDoneSent: -1,
 	}
+	//aggvet:allow loopown -- construction: no goroutine exists yet; control() assumes ownership when it starts
 	for i := 0; i < n; i++ {
 		p := &tpeer{id: i, timeout: cfg.IOTimeout, m: nd.m}
 		p.down.Store(true) // up only once dialed
@@ -449,6 +479,7 @@ func runNodeTolerant(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResu
 		readers.Wait()
 		return nil, err
 	}
+	//aggvet:allow loopown -- handoff before control() spawns: the loop goroutine does not exist yet
 	if nd.id == 0 {
 		// The failure detector's clock starts at supervisor formation, so
 		// every peer gets a full DeadAfter of grace to finish dialing.
@@ -532,12 +563,18 @@ func runNodeTolerant(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResu
 	scan.Wait()
 	readers.Wait()
 
+	// Everything below runs after ctrl.Wait(): control() has exited and
+	// the join handed its state back to this goroutine.
+	//
+	//aggvet:allow loopown -- post-join read: control() exited at ctrl.Wait() above
 	if nd.evicted {
 		return nil, nodeErr(nd.id, 0, PhaseHeartbeat, ErrEvicted)
 	}
+	//aggvet:allow loopown -- post-join read: control() exited at ctrl.Wait() above
 	if nd.fatal != nil {
 		return nil, nd.fatal
 	}
+	//aggvet:allow loopown -- post-join read: control() exited at ctrl.Wait() above
 	if !nd.finished {
 		// The done channel closed under us without a finish — only
 		// possible if cancel ran from a path that already reported.
@@ -545,32 +582,38 @@ func runNodeTolerant(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResu
 	}
 	// Leftover stages are zombie attempts that never found an eligible
 	// slot; account for them before the sanity check.
+	//aggvet:allow loopown -- post-join read: control() exited at ctrl.Wait() above
 	for _, st := range nd.stages {
 		nd.m.stale(st.frames)
 	}
 	// Sanity: every final group must hash to a range this node owns.
 	misrouted := false
 	var badKey tuple.Key
+	//aggvet:allow loopown -- post-join read: control() exited at ctrl.Wait() above
 	for k := range nd.final {
 		if nd.owner[k.Dest(nd.n)] != nd.id && (!misrouted || k < badKey) {
 			misrouted, badKey = true, k
 		}
 	}
+	//aggvet:allow loopown -- post-join read: control() exited at ctrl.Wait() above
 	if misrouted {
 		return nil, nodeErr(nd.id, nd.owner[badKey.Dest(nd.n)], PhaseMerge,
 			fmt.Errorf("received group %d owned by node %d", badKey, nd.owner[badKey.Dest(nd.n)]))
 	}
+	//aggvet:allow loopown -- post-join read: control() exited at ctrl.Wait() above
 	res := &NodeResult{
 		Groups:       nd.final,
 		Switched:     nd.switched,
 		RawSent:      nd.rawSent,
 		PartialsSent: nd.partialsSent,
 	}
+	//aggvet:allow loopown -- post-join read: control() exited at ctrl.Wait() above
 	for r := 0; r < nd.n; r++ {
 		if nd.owner[r] == nd.id {
 			res.Ranges = append(res.Ranges, r)
 		}
 	}
+	//aggvet:allow loopown -- post-join read: control() exited at ctrl.Wait() above
 	for x := 0; x < nd.n; x++ {
 		if nd.deadPeers[x] {
 			res.DeadPeers = append(res.DeadPeers, x)
@@ -945,6 +988,8 @@ func (nd *tnode) runJob(j tjob) {
 // control is the single-goroutine brain: it owns all merge and duty state
 // and is the only writer of the jobs channel (closed on exit, which ends
 // the scan goroutine's job loop).
+//
+//aggvet:loop control
 func (nd *tnode) control() {
 	defer close(nd.jobs)
 	for {

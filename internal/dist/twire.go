@@ -26,24 +26,24 @@ import (
 const (
 	// frameHeartbeat carries liveness + scan progress (aux = permille of
 	// the sender's partition scanned). origin = sender.
-	frameHeartbeat = 5
+	frameHeartbeat frameKind = 5
 	// frameSuspect is a complaint to the supervisor: origin = the peer
 	// the sender failed to reach, aux = a phaseCode for the failed op.
-	frameSuspect = 6
+	frameSuspect frameKind = 6
 	// frameAssign is the supervisor's reassignment broadcast: all duties
 	// of node `origin` move to node `aux&0xFFFF` at `epoch`;
 	// aux bit 16 set means origin is declared dead (full takeover),
 	// clear means a speculative re-execution (first complete attempt wins).
-	frameAssign = 7
+	frameAssign frameKind = 7
 	// frameEvict tells the recipient the supervisor has declared it dead;
 	// it must stop and return ErrEvicted.
-	frameEvict = 8
+	frameEvict frameKind = 8
 	// frameDone reports to the supervisor that the sender's scan, queued
 	// recovery jobs, and merge are complete as of epoch aux.
-	frameDone = 9
+	frameDone frameKind = 9
 	// frameFinish is the supervisor's broadcast that every live node is
 	// done: recipients tear down cleanly and return their results.
-	frameFinish = 10
+	frameFinish frameKind = 10
 )
 
 // helloTolerantFlag marks a hello as the tolerant dialect so a
@@ -102,7 +102,7 @@ func codePhase(c uint32) Phase {
 
 // tframe is one decoded tolerant-mode frame.
 type tframe struct {
-	kind     byte
+	kind     frameKind
 	origin   int
 	epoch    int
 	aux      uint32
@@ -121,8 +121,8 @@ type streamID struct {
 
 func (s streamID) String() string { return fmt.Sprintf("(origin %d, epoch %d)", s.origin, s.epoch) }
 
-func putTHeader(b []byte, kind byte, origin, epoch int, aux uint32, count int) {
-	b[0] = kind
+func putTHeader(b []byte, kind frameKind, origin, epoch int, aux uint32, count int) {
+	b[0] = byte(kind)
 	b[1] = byte(origin)
 	binary.LittleEndian.PutUint16(b[2:4], uint16(epoch))
 	binary.LittleEndian.PutUint32(b[4:8], aux)
@@ -132,7 +132,7 @@ func putTHeader(b []byte, kind byte, origin, epoch int, aux uint32, count int) {
 // writeTControl writes a record-less tolerant frame and flushes, so
 // control traffic (heartbeats, assigns, EOS) is never stuck behind
 // buffered data.
-func writeTControl(w *bufio.Writer, kind byte, origin, epoch int, aux uint32) error {
+func writeTControl(w *bufio.Writer, kind frameKind, origin, epoch int, aux uint32) error {
 	var b [tHeaderSize]byte
 	putTHeader(b[:], kind, origin, epoch, aux, 0)
 	if _, err := w.Write(b[:]); err != nil {
@@ -180,7 +180,7 @@ func readTFrame(r *bufio.Reader) (tframe, error) {
 		return tframe{}, err
 	}
 	f := tframe{
-		kind:   hdr[0],
+		kind:   frameKind(hdr[0]),
 		origin: int(hdr[1]),
 		epoch:  int(binary.LittleEndian.Uint16(hdr[2:4])),
 		aux:    binary.LittleEndian.Uint32(hdr[4:8]),

@@ -87,9 +87,9 @@ func TestTolerantControlFrameRoundTrip(t *testing.T) {
 }
 
 func TestTolerantFrameRejectsHostileInput(t *testing.T) {
-	mk := func(kind byte, count uint32) []byte {
+	mk := func(kind frameKind, count uint32) []byte {
 		b := make([]byte, tHeaderSize)
-		b[0] = kind
+		b[0] = byte(kind)
 		binary.LittleEndian.PutUint32(b[8:12], count)
 		return b
 	}

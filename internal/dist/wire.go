@@ -19,12 +19,22 @@ import (
 // Raw records are tuple.RawSize bytes, partial records tuple.PartialSize
 // bytes, in the same little-endian layout the simulator's pages use. An
 // EOS frame has kind frameEOS and count 0.
+//
+// frameKind is the dispatch tag for both dialects (wire.go and
+// twire.go declare its constants). It is marked exhaustive: every
+// switch over a frameKind must either handle all declared kinds or
+// reject unknown ones with an error-returning default, so adding a
+// control frame cannot silently fall through an old dispatch point.
+//
+//aggvet:exhaustive
+type frameKind byte
+
 const (
-	frameRaw     = 1
-	framePartial = 2
-	frameEOS     = 3
+	frameRaw     frameKind = 1
+	framePartial frameKind = 2
+	frameEOS     frameKind = 3
 	// frameEOP carries Adaptive Repartitioning's end-of-phase broadcast.
-	frameEOP = 4
+	frameEOP frameKind = 4
 )
 
 // maxFrameRecords bounds a frame so a corrupt length cannot allocate
@@ -59,9 +69,9 @@ func readHello(r io.Reader) (int, error) {
 	return int(binary.LittleEndian.Uint32(b[:])), nil
 }
 
-func writeHeader(w io.Writer, kind byte, count int) error {
+func writeHeader(w io.Writer, kind frameKind, count int) error {
 	var b [5]byte
-	b[0] = kind
+	b[0] = byte(kind)
 	binary.LittleEndian.PutUint32(b[1:], uint32(count))
 	_, err := w.Write(b[:])
 	return err
@@ -85,7 +95,7 @@ func rawFrameInto(buf []byte, ts []tuple.Tuple) ([]byte, error) {
 		return buf, fmt.Errorf("dist: raw frame of %d records exceeds the %d-record wire limit", len(ts), maxFrameRecords)
 	}
 	buf = frameBuf(buf, 5+len(ts)*tuple.RawSize)
-	buf[0] = frameRaw
+	buf[0] = byte(frameRaw)
 	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(ts)))
 	off := 5
 	for _, t := range ts {
@@ -102,7 +112,7 @@ func partialFrameInto(buf []byte, ps []tuple.Partial) ([]byte, error) {
 		return buf, fmt.Errorf("dist: partial frame of %d records exceeds the %d-record wire limit", len(ps), maxFrameRecords)
 	}
 	buf = frameBuf(buf, 5+len(ps)*tuple.PartialSize)
-	buf[0] = framePartial
+	buf[0] = byte(framePartial)
 	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(ps)))
 	off := 5
 	for _, pt := range ps {
@@ -175,7 +185,7 @@ func (p *peer) arm() {
 
 // count wraps a frame write with the send-side metrics: bytes and
 // frames on success, deadline classification on failure.
-func (p *peer) count(kind byte, records int, err error) error {
+func (p *peer) count(kind frameKind, records int, err error) error {
 	if err != nil {
 		p.m.ioError(PhaseWrite, err)
 		return err
@@ -225,7 +235,7 @@ func (p *peer) writeEOP() error {
 
 // frame is one decoded wire frame.
 type frame struct {
-	kind     byte
+	kind     frameKind
 	raw      []tuple.Tuple
 	partials []tuple.Partial
 }
@@ -236,7 +246,7 @@ func readFrame(r *bufio.Reader) (frame, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return frame{}, err
 	}
-	kind := hdr[0]
+	kind := frameKind(hdr[0])
 	count := int(binary.LittleEndian.Uint32(hdr[1:]))
 	if count < 0 || count > maxFrameRecords {
 		return frame{}, fmt.Errorf("dist: frame count %d out of range", count)

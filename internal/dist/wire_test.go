@@ -57,9 +57,9 @@ func TestWirePartialRoundTrip(t *testing.T) {
 func TestWireRejectsGarbage(t *testing.T) {
 	cases := map[string][]byte{
 		"unknown kind":   {9, 0, 0, 0, 0},
-		"eos with count": {frameEOS, 1, 0, 0, 0},
-		"huge count":     {frameRaw, 0xff, 0xff, 0xff, 0x7f},
-		"truncated":      {frameRaw, 2, 0, 0, 0, 1, 2, 3},
+		"eos with count": {byte(frameEOS), 1, 0, 0, 0},
+		"huge count":     {byte(frameRaw), 0xff, 0xff, 0xff, 0x7f},
+		"truncated":      {byte(frameRaw), 2, 0, 0, 0, 1, 2, 3},
 	}
 	for name, b := range cases {
 		if _, err := readFrame(bufio.NewReader(bytes.NewReader(b))); err == nil {

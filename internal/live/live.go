@@ -362,7 +362,13 @@ type worker struct {
 	pools    *exchangePools
 	newTable func(bound int) groupTable
 
-	outRaw  []*rawBatch
+	// Pending outbound batches, owned by the scan goroutine: the merge
+	// side must never touch them (it receives full batches over the
+	// inbox channels instead).
+	//
+	//aggvet:owner scan
+	outRaw []*rawBatch
+	//aggvet:owner scan
 	outPart []*partBatch
 }
 
@@ -381,7 +387,10 @@ func (wk *worker) noteOcc(tab groupTable) {
 }
 
 // scanSide aggregates or routes this worker's partition, reporting whether
-// it switched strategy.
+// it switched strategy. It is the owning loop of the worker's outbound
+// batch state (outRaw/outPart).
+//
+//aggvet:loop scan
 func (wk *worker) scanSide(part []tuple.Tuple) (switchedOut bool, err error) {
 	w := wk.cfg.Workers
 	wk.outRaw = make([]*rawBatch, w)
