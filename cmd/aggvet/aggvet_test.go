@@ -14,7 +14,7 @@ import (
 )
 
 // buildTool compiles aggvet once into a temp dir and returns its path.
-func buildTool(t *testing.T) string {
+func buildTool(t testing.TB) string {
 	t.Helper()
 	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {
@@ -46,7 +46,7 @@ func writeModule(t *testing.T, files map[string]string) string {
 	return dir
 }
 
-func govet(t *testing.T, tool, dir string) (string, error) {
+func govet(t testing.TB, tool, dir string) (string, error) {
 	t.Helper()
 	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
 	cmd.Dir = dir
@@ -247,6 +247,112 @@ func (n *node) control() {
 		}
 	})
 
+	t.Run("missing unlock on early return fails vet", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{"internal/obs/reg.go": `package obs
+
+import "sync"
+
+type registry struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (r *registry) bump(fail bool) int {
+	r.mu.Lock()
+	if fail {
+		return 0
+	}
+	r.mu.Unlock()
+	return r.n
+}
+`})
+		out, err := govet(t, tool, dir)
+		if err == nil {
+			t.Fatalf("go vet passed on a leaked lock; output:\n%s", out)
+		}
+		if !strings.Contains(out, "lockcheck: r.mu acquired here is not released on every path") {
+			t.Fatalf("diagnostic missing from output:\n%s", out)
+		}
+	})
+
+	t.Run("lock-order cycle fails vet", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{"internal/dist/order.go": `package dist
+
+import "sync"
+
+type peerSet struct{ mu sync.Mutex }
+type tracker struct{ mu sync.Mutex }
+
+func ab(p *peerSet, tr *tracker) {
+	p.mu.Lock()
+	tr.mu.Lock()
+	tr.mu.Unlock()
+	p.mu.Unlock()
+}
+
+func ba(p *peerSet, tr *tracker) {
+	tr.mu.Lock()
+	p.mu.Lock()
+	p.mu.Unlock()
+	tr.mu.Unlock()
+}
+`})
+		out, err := govet(t, tool, dir)
+		if err == nil {
+			t.Fatalf("go vet passed on conflicting lock orders; output:\n%s", out)
+		}
+		if !strings.Contains(out, "lockcheck: potential deadlock") {
+			t.Fatalf("diagnostic missing from output:\n%s", out)
+		}
+	})
+
+	t.Run("guarded field touched without the lock fails vet", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{"internal/obs/guard.go": `package obs
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	//aggvet:guard mu
+	n int
+}
+
+func peek(c *counter) int {
+	return c.n
+}
+`})
+		out, err := govet(t, tool, dir)
+		if err == nil {
+			t.Fatalf("go vet passed on an unguarded field read; output:\n%s", out)
+		}
+		if !strings.Contains(out, "lockguard: field counter.n is read without holding c.mu") {
+			t.Fatalf("diagnostic missing from output:\n%s", out)
+		}
+	})
+
+	t.Run("allocation in a noalloc closure fails vet", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{"internal/agg/hot.go": `package agg
+
+//aggvet:noalloc
+func Fold(dst, src []int) []int {
+	return widen(dst, src)
+}
+
+func widen(dst, src []int) []int {
+	out := make([]int, len(dst)+len(src))
+	copy(out, dst)
+	return append(out[:len(dst)], src...)
+}
+`})
+		out, err := govet(t, tool, dir)
+		if err == nil {
+			t.Fatalf("go vet passed on an allocating noalloc closure; output:\n%s", out)
+		}
+		if !strings.Contains(out, "noalloc: make allocates in widen, reachable from //aggvet:noalloc function Fold") {
+			t.Fatalf("diagnostic missing from output:\n%s", out)
+		}
+	})
+
 	t.Run("non-exhaustive switch on a marked kind fails vet", func(t *testing.T) {
 		dir := writeModule(t, map[string]string{"pkg/wire/wire.go": `package wire
 
@@ -276,8 +382,8 @@ func name(k kind) string {
 	})
 }
 
-// TestRepoZeroDiagnostics is the regression gate: the full ten-analyzer
-// suite must report nothing on this repository. Any new finding is
+// TestRepoZeroDiagnostics is the regression gate: the full
+// thirteen-analyzer suite must report nothing on this repository. Any new finding is
 // either a real bug to fix or a deliberate exception to document with
 // a rationaled //aggvet:allow — never something to merge silently.
 func TestRepoZeroDiagnostics(t *testing.T) {
@@ -370,6 +476,8 @@ func TestHandshake(t *testing.T) {
 		"simclock", "seededrand", "netdeadline", "donesend",
 		"maporder", "floatdet", "resleak",
 		"pooluse", "loopown", "framecase",
+		"lockcheck", "lockguard", "noalloc",
+		"json",
 	} {
 		if !strings.Contains(string(out), `"`+name+`"`) {
 			t.Errorf("-flags JSON missing analyzer %q:\n%s", name, out)

@@ -1,0 +1,62 @@
+package main
+
+// Wall-clock accounting for the full thirteen-analyzer repo run. The
+// lint step is on the critical path of every CI job and every local
+// `make lint`, so its cost is pinned two ways:
+//
+//   - TestRepoVetBudget is the gate: the whole-module vet must finish
+//     inside a deliberately generous bound. The budget is sized at
+//     many multiples of the observed time so it only trips on a real
+//     regression (an analyzer gone accidentally quadratic, a summary
+//     fixpoint that stopped converging), never on CI jitter.
+//   - BenchmarkRepoVet reports the number for humans. Note that `go
+//     vet` caches per-package results keyed by the tool's buildID, so
+//     iterations after the first measure the warm path — the cold
+//     number is the first iteration (or the budget test's log line).
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// repoVetBudget bounds one whole-module thirteen-analyzer run,
+// including `go vet`'s own type-checking and export-data loading. The
+// run takes a few seconds on a developer laptop and well under a
+// minute on a loaded CI runner.
+const repoVetBudget = 3 * time.Minute
+
+func TestRepoVetBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go vet over the whole module")
+	}
+	tool := buildTool(t)
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	out, verr := govet(t, tool, repoRoot)
+	elapsed := time.Since(start)
+	if verr != nil {
+		t.Fatalf("repo vet failed: %v\n%s", verr, out)
+	}
+	t.Logf("thirteen-analyzer repo vet: %v (budget %v)", elapsed, repoVetBudget)
+	if elapsed > repoVetBudget {
+		t.Fatalf("thirteen-analyzer repo vet took %v, over the %v budget — an analyzer has regressed", elapsed, repoVetBudget)
+	}
+}
+
+func BenchmarkRepoVet(b *testing.B) {
+	tool := buildTool(b)
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out, verr := govet(b, tool, repoRoot); verr != nil {
+			b.Fatalf("repo vet failed: %v\n%s", verr, out)
+		}
+	}
+}

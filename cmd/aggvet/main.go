@@ -1,24 +1,37 @@
-// Command aggvet is the repo's determinism-and-networking linter: a
-// multichecker over the ten invariant analyzers in internal/analysis,
-// speaking the "go vet -vettool" protocol. Run it through the build
-// system so packages arrive type-checked with their dependencies'
-// export data:
+// Command aggvet is the repo's determinism-and-concurrency linter: a
+// multichecker over the thirteen invariant analyzers in
+// internal/analysis, speaking the "go vet -vettool" protocol. Run it
+// through the build system so packages arrive type-checked with their
+// dependencies' export data:
 //
 //	go build -o bin/aggvet ./cmd/aggvet
 //	go vet -vettool=$(pwd)/bin/aggvet ./...
 //
 // or simply `make lint`. Passing analyzer names as flags selects a
-// subset (e.g. -simclock); by default all ten run. The first four are
-// syntactic invariant checks from PR 2; maporder, floatdet and resleak
-// are flow-sensitive (CFG + forward dataflow, internal/analysis/cfg);
-// pooluse, loopown and framecase are interprocedural, built on the
-// package call graph and bottom-up function summaries
-// (internal/analysis callgraph). See DESIGN.md §8 for the invariants
-// and the //aggvet:allow exemption convention.
+// subset (e.g. -simclock); by default all thirteen run. The first four
+// are syntactic invariant checks from PR 2; maporder, floatdet and
+// resleak are flow-sensitive (CFG + forward dataflow,
+// internal/analysis/cfg); pooluse, loopown and framecase are
+// interprocedural, built on the package call graph and bottom-up
+// function summaries; lockcheck, lockguard and noalloc combine both —
+// lock-set dataflow (internal/analysis/lockset) plus call-graph
+// summaries for the lock-order graph and the zero-alloc closure. See
+// DESIGN.md §8 for the invariants and the //aggvet:allow exemption
+// convention. The -json flag switches diagnostics to one JSON object
+// per line (file, line, col, analyzer, message) for problem matchers.
 //
-// A second mode, `aggvet -allows <dir>...`, inventories every
-// //aggvet:allow directive under the given directories and fails if
-// any lacks a `-- rationale` clause; scripts/lint.sh runs it after
+// Two auxiliary modes bypass the vet protocol:
+//
+//	aggvet -allows <dir>...
+//
+// inventories every //aggvet:allow directive under the given
+// directories and fails if any lacks a `-- rationale` clause;
+//
+//	aggvet -require-noalloc <dir>:<Func>[,<Func>...] ...
+//
+// asserts that the named functions still carry //aggvet:noalloc, so
+// deleting an annotation (and with it the static gate behind
+// TestAllocsPin*) fails `make lint`. scripts/lint.sh runs both after
 // the vet pass.
 package main
 
@@ -30,9 +43,12 @@ import (
 	"parallelagg/internal/analysis/donesend"
 	"parallelagg/internal/analysis/floatdet"
 	"parallelagg/internal/analysis/framecase"
+	"parallelagg/internal/analysis/lockcheck"
+	"parallelagg/internal/analysis/lockguard"
 	"parallelagg/internal/analysis/loopown"
 	"parallelagg/internal/analysis/maporder"
 	"parallelagg/internal/analysis/netdeadline"
+	"parallelagg/internal/analysis/noalloc"
 	"parallelagg/internal/analysis/pooluse"
 	"parallelagg/internal/analysis/resleak"
 	"parallelagg/internal/analysis/seededrand"
@@ -43,6 +59,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "-allows" {
 		if err := analysis.AllowInventory(os.Stdout, os.Args[2:]...); err != nil {
 			fmt.Fprintln(os.Stderr, "aggvet -allows:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "-require-noalloc" {
+		if err := noalloc.Require(os.Stdout, os.Args[2:]...); err != nil {
+			fmt.Fprintln(os.Stderr, "aggvet -require-noalloc:", err)
 			os.Exit(1)
 		}
 		return
@@ -58,5 +81,8 @@ func main() {
 		pooluse.Analyzer,
 		loopown.Analyzer,
 		framecase.Analyzer,
+		lockcheck.Analyzer,
+		lockguard.Analyzer,
+		noalloc.Analyzer,
 	)
 }

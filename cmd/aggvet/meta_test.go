@@ -1,0 +1,153 @@
+package main
+
+// Meta-test over the analyzer inventory itself: every package under
+// internal/analysis that declares `var Analyzer` must (a) ship a
+// non-empty hermetic fixture suite under testdata/src plus a test file
+// that runs it, (b) be registered in this driver's UnitMain call, and
+// (c) appear in scripts/lint.sh's per-analyzer summary list. An
+// analyzer that exists but is not wired in passes its own tests while
+// enforcing nothing — exactly the silent gap this test closes.
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// minAnalyzers guards against the discovery loop itself breaking: if a
+// refactor moves the packages, found drops to zero and this fails
+// loudly instead of vacuously passing.
+const minAnalyzers = 13
+
+var analyzerNameRE = regexp.MustCompile(`Name:\s*"([a-z]+)"`)
+
+func TestAnalyzerRegistry(t *testing.T) {
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysisRoot := filepath.Join(repoRoot, "internal", "analysis")
+
+	mainSrc, err := os.ReadFile(filepath.Join(repoRoot, "cmd", "aggvet", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lintSrc, err := os.ReadFile(filepath.Join(repoRoot, "scripts", "lint.sh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lintList := lintAnalyzers(t, string(lintSrc))
+
+	entries, err := os.ReadDir(analysisRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		pkgDir := filepath.Join(analysisRoot, e.Name())
+		name, ok := declaredAnalyzer(t, pkgDir)
+		if !ok {
+			continue // support package (cfg, lockset, analysistest, ...)
+		}
+		found++
+		t.Run(e.Name(), func(t *testing.T) {
+			if name != e.Name() {
+				t.Errorf("analyzer in %s is named %q; the package directory and analyzer name must match", e.Name(), name)
+			}
+			if n := fixtureCount(t, filepath.Join(pkgDir, "testdata", "src")); n == 0 {
+				t.Errorf("analyzer %s has no fixture files under testdata/src — every analyzer needs a hermetic fixture suite", name)
+			}
+			if !hasTestFile(t, pkgDir) {
+				t.Errorf("analyzer %s has no _test.go running its fixtures", name)
+			}
+			if !strings.Contains(string(mainSrc), e.Name()+".Analyzer") {
+				t.Errorf("analyzer %s is not registered in cmd/aggvet/main.go's UnitMain call", name)
+			}
+			if !lintList[name] {
+				t.Errorf("analyzer %s is missing from scripts/lint.sh's ANALYZERS summary list", name)
+			}
+		})
+	}
+	if found < minAnalyzers {
+		t.Fatalf("discovered only %d analyzer packages under internal/analysis, expected at least %d — the discovery walk is broken", found, minAnalyzers)
+	}
+}
+
+// declaredAnalyzer reports whether the package declares `var Analyzer`
+// and returns its registered Name.
+func declaredAnalyzer(t *testing.T, dir string) (string, bool) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(src), "var Analyzer = &analysis.Analyzer{") {
+			continue
+		}
+		m := analyzerNameRE.FindStringSubmatch(string(src))
+		if m == nil {
+			t.Fatalf("%s declares var Analyzer without a literal Name", f)
+		}
+		return m[1], true
+	}
+	return "", false
+}
+
+// fixtureCount counts .go files anywhere under the fixture root.
+func fixtureCount(t *testing.T, root string) int {
+	t.Helper()
+	n := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0
+		}
+		t.Fatal(err)
+	}
+	return n
+}
+
+func hasTestFile(t *testing.T, dir string) bool {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*_test.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(files) > 0
+}
+
+// lintAnalyzers extracts the ANALYZERS="..." list from lint.sh.
+func lintAnalyzers(t *testing.T, src string) map[string]bool {
+	t.Helper()
+	m := regexp.MustCompile(`ANALYZERS="([^"]+)"`).FindStringSubmatch(src)
+	if m == nil {
+		t.Fatal("scripts/lint.sh has no ANALYZERS=\"...\" list")
+	}
+	out := map[string]bool{}
+	for _, name := range strings.Fields(m[1]) {
+		out[name] = true
+	}
+	return out
+}

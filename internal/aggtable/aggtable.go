@@ -93,12 +93,12 @@ func slotsFor(n int) int {
 }
 
 func (t *Table) init(slots int) {
-	t.ctrl = make([]uint8, slots)
+	t.ctrl = make([]uint8, slots) //aggvet:allow noalloc -- slot-array (re)construction; amortized growth, absent from the steady-state fold the alloc pins measure
 	for i := range t.ctrl {
 		t.ctrl[i] = ctrlEmpty
 	}
-	t.keys = make([]tuple.Key, slots)
-	t.states = make([]tuple.AggState, slots)
+	t.keys = make([]tuple.Key, slots) //aggvet:allow noalloc -- slot-array (re)construction; amortized growth, absent from the steady-state fold the alloc pins measure
+	t.states = make([]tuple.AggState, slots) //aggvet:allow noalloc -- slot-array (re)construction; amortized growth, absent from the steady-state fold the alloc pins measure
 	t.mask = uint64(slots - 1)
 	t.used = 0
 	t.growAt = slots * maxLoadNum / maxLoadDen
@@ -197,6 +197,8 @@ func (t *Table) Get(k tuple.Key) (tuple.AggState, bool) {
 // returns false when the tuple's group is absent and the table is at its
 // bound; the tuple is then NOT absorbed and the caller must handle it
 // (spill, reroute, or switch strategy).
+//
+//aggvet:noalloc
 func (t *Table) UpdateRaw(tp tuple.Tuple) bool {
 	i, ok := t.find(tp.Key)
 	if ok {
@@ -213,6 +215,8 @@ func (t *Table) UpdateRaw(tp tuple.Tuple) bool {
 
 // MergePartial folds one partial-aggregate tuple into the table, with the
 // same full-table contract as UpdateRaw.
+//
+//aggvet:noalloc
 func (t *Table) MergePartial(p tuple.Partial) bool {
 	i, ok := t.find(p.Key)
 	if ok {

@@ -1,0 +1,517 @@
+// Package lockcheck enforces lock discipline over sync.Mutex and
+// sync.RWMutex: every acquisition must reach a release (or a defer of
+// one) on all paths, a held lock must not be re-acquired by the same
+// goroutine, a release must match a possible acquisition in mode and
+// in fact, and — across functions, via call-graph summaries — locks
+// must be acquired in a consistent global order, or two goroutines
+// interleaving the conflicting orders deadlock.
+//
+// The intraprocedural rules ride the shared lock-set engine
+// (internal/analysis/lockset): a forward may-analysis whose facts say
+// "this mutex, reached as root.path, may be held here". The rules, in
+// the engine's terms:
+//
+//   - leak: a non-deferred, non-seeded fact reaching function exit
+//     means some path acquired the lock and never released it;
+//   - re-lock: Lock (or RLock while write-held) of a chain already in
+//     the lock-set is a self-deadlock — sync mutexes are not reentrant;
+//   - bad unlock: Unlock/RUnlock of a chain with no fact at all means
+//     no path holds the lock here (may-analysis: an empty set is a
+//     universal claim), and a mode mismatch (Unlock of a read-held
+//     RWMutex or RUnlock of a write-held one) corrupts the mutex state.
+//
+// The lock-order graph is interprocedural within the package: every
+// function gets a bottom-up summary of the lock identities it may
+// acquire (transitively, same-goroutine; unknown callees contribute
+// nothing — the conservative direction for an order check is missing
+// edges, never inventing them). During the replay pass an edge A → B
+// is recorded whenever B is acquired — directly or via a summarized
+// call — while A is held. A cycle among the edges means the package
+// admits conflicting acquisition orders; each strongly connected
+// component is reported once, at its lexically first edge. Lock
+// identities are instance-independent (the struct FIELD, not the
+// variable holding the struct), so `a.mu before b.other` and
+// `x.other before y.mu` collide no matter the spelling; an edge from a
+// field to itself through two different roots is reported too — two
+// instances of one type locked with no global order is the textbook
+// account-transfer deadlock.
+//
+// Functions running with a caller-held lock declare it with
+// "//aggvet:holds recv.mu" (the Clang REQUIRES annotation): the chain
+// seeds the entry lock-set, so guarded work inside checks out and the
+// missing release is charged to the caller, not the helper.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"parallelagg/internal/analysis"
+	"parallelagg/internal/analysis/cfg"
+	"parallelagg/internal/analysis/lockset"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "enforce sync.Mutex/RWMutex lock discipline\n\n" +
+		"Every Lock/RLock must reach an Unlock/RUnlock (or defer one) on all\n" +
+		"paths; a held lock must not be re-acquired; a release must match a\n" +
+		"held acquisition in mode; and the package's locks must be acquired\n" +
+		"in one consistent order — a cycle in the acquired-while-holding\n" +
+		"graph is a potential deadlock. Helpers running under a caller's\n" +
+		"lock declare it with //aggvet:holds recv.mu.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	graph := analysis.BuildCallGraph(pass.Files, pass.TypesInfo)
+	c := &checker{
+		pass:   pass,
+		info:   pass.TypesInfo,
+		graph:  graph,
+		owners: fieldOwners(pass.Files, pass.TypesInfo),
+		edges:  map[edge]token.Pos{},
+		byID:   map[string]types.Object{},
+	}
+	c.sums = c.acquireSummaries()
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			seed, bad := lockset.HoldsSeed(c.info, decl)
+			for range bad {
+				// Report at the declaration, not the comment: directives
+				// are line comments, so a fixture cannot put a want
+				// expectation on the directive's own line.
+				pass.Reportf(decl.Name.Pos(), "malformed //aggvet:holds directive on %s: want \"//aggvet:holds <recv-or-param>.<mutex-field>\" naming a sync.Mutex or sync.RWMutex chain",
+					decl.Name.Name)
+			}
+			lockset.Analyze(c.info, decl, seed, c.checkBody)
+		}
+	}
+	c.reportCycles()
+	return nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	info   *types.Info
+	graph  *analysis.CallGraph
+	owners map[types.Object]string
+
+	// sums maps each function to the encoded set of lock identities it
+	// may acquire, transitively on its own goroutine.
+	sums map[*analysis.FuncNode]string
+	// byID decodes summary identity strings back to objects.
+	byID map[string]types.Object
+
+	// edges records "to may be acquired while from is held", keyed to
+	// dedupe, valued with the lexically first witness position.
+	edges map[edge]token.Pos
+
+	// reported dedupes leak diagnostics by acquisition position: one
+	// acquisition can reach exit in several bodies' replays.
+	reported map[token.Pos]bool
+}
+
+type edge struct{ from, to types.Object }
+
+// checkBody runs the reporting replay over one solved body.
+func (c *checker) checkBody(b *lockset.Body) {
+	for _, blk := range b.Graph.Blocks {
+		facts := cfg.Facts[lockset.Fact]{}
+		for f := range b.In[blk] {
+			facts.Add(f)
+		}
+		for _, n := range blk.Stmts {
+			for _, op := range lockset.OpsIn(c.info, n) {
+				if op.Root != nil {
+					c.checkOp(op, facts)
+					c.recordAcquireEdges(op, facts)
+				}
+				lockset.Apply(op, facts)
+			}
+			c.recordCallEdges(n, facts)
+		}
+	}
+
+	// Leak check: a plain fact at exit was acquired on some path and
+	// released on none of its continuations. Deferred facts are
+	// discharged; seeded facts belong to the caller.
+	if c.reported == nil {
+		c.reported = map[token.Pos]bool{}
+	}
+	for f := range b.Exit() {
+		if f.Deferred || f.Seeded || c.reported[f.Pos] {
+			continue
+		}
+		c.reported[f.Pos] = true
+		c.pass.Reportf(f.Pos, "%s acquired here is not released on every path (missing Unlock or defer)", f.Chain())
+	}
+}
+
+// checkOp reports re-lock and bad-unlock at one mutex operation, given
+// the facts just before it executes.
+func (c *checker) checkOp(op lockset.Op, facts cfg.Facts[lockset.Fact]) {
+	switch {
+	case op.Kind == lockset.Lock:
+		if hit, held := lockset.Held(facts, op.Root, op.Path); held {
+			c.pass.Reportf(op.Call.Pos(), "%s.Lock while %s may already be held (acquired at line %d): sync mutexes are not reentrant, this self-deadlocks",
+				op.Chain(), op.Chain(), c.line(hit.Pos))
+		}
+	case op.Kind == lockset.RLock:
+		// Recursive RLock is legal (if inadvisable); RLock under a held
+		// WRITE lock on the same mutex self-deadlocks.
+		if hit, held := lockset.Held(facts, op.Root, op.Path); held && !hit.Read {
+			c.pass.Reportf(op.Call.Pos(), "%s.RLock while %s is write-locked (acquired at line %d): this self-deadlocks",
+				op.Chain(), op.Chain(), c.line(hit.Pos))
+		}
+	case op.Kind.Releases() && !op.Deferred:
+		hit, held := lockset.Held(facts, op.Root, op.Path)
+		if !held {
+			c.pass.Reportf(op.Call.Pos(), "%s.%s but %s is not held on any path reaching this point",
+				op.Chain(), op.Kind, op.Chain())
+			return
+		}
+		if allDeferred(facts, op) {
+			c.pass.Reportf(op.Call.Pos(), "double unlock: %s is already scheduled for release by the defer at line %d",
+				op.Chain(), c.line(hit.Pos))
+			return
+		}
+		if op.Kind == lockset.Unlock && hit.Read && !anyMode(facts, op, false) {
+			c.pass.Reportf(op.Call.Pos(), "%s.Unlock but %s is read-locked (RLock at line %d): use RUnlock",
+				op.Chain(), op.Chain(), c.line(hit.Pos))
+		}
+		if op.Kind == lockset.RUnlock && !hit.Read && !anyMode(facts, op, true) {
+			c.pass.Reportf(op.Call.Pos(), "%s.RUnlock but %s is write-locked (Lock at line %d): use Unlock",
+				op.Chain(), op.Chain(), c.line(hit.Pos))
+		}
+	}
+}
+
+// allDeferred reports whether every fact matching op's chain is a
+// scheduled defer release — an explicit Unlock then releases a mutex
+// the defer will release again.
+func allDeferred(facts cfg.Facts[lockset.Fact], op lockset.Op) bool {
+	for f := range facts {
+		if f.Root == op.Root && f.Path == op.Path && !f.Deferred {
+			return false
+		}
+	}
+	return true
+}
+
+// anyMode reports whether facts hold op's chain in the given mode
+// (read=true for RLock-mode facts).
+func anyMode(facts cfg.Facts[lockset.Fact], op lockset.Op, read bool) bool {
+	for f := range facts {
+		if f.Root == op.Root && f.Path == op.Path && f.Read == read {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) line(pos token.Pos) int { return c.pass.Fset.Position(pos).Line }
+
+// recordAcquireEdges adds lock-order edges held → acquired for a
+// direct acquisition (Try variants included: on their success edge the
+// lock is held, so the ordering constraint is identical).
+func (c *checker) recordAcquireEdges(op lockset.Op, facts cfg.Facts[lockset.Fact]) {
+	if op.Abs == nil || !(op.Kind.Acquires() || op.Kind == lockset.TryLock || op.Kind == lockset.TryRLock) {
+		return
+	}
+	for f := range facts {
+		if f.Abs == nil {
+			continue
+		}
+		if f.Root == op.Root && f.Path == op.Path {
+			continue // same mutex re-lock: checkOp's territory
+		}
+		c.addEdge(f.Abs, op.Abs, op.Call.Pos())
+	}
+}
+
+// recordCallEdges adds edges held → (callee's summarized acquisitions)
+// for every resolved same-goroutine call in the node. A `go` call runs
+// the callee on a fresh goroutine whose acquisitions are not ordered
+// after the caller's held locks, so it contributes nothing.
+func (c *checker) recordCallEdges(n ast.Node, facts cfg.Facts[lockset.Fact]) {
+	if len(facts) == 0 {
+		return
+	}
+	var goCall *ast.CallExpr
+	if gs, ok := n.(*ast.GoStmt); ok {
+		goCall = gs.Call
+	}
+	// Like OpsIn: a RangeStmt head marker contributes only its header;
+	// body calls replay from the body block with per-iteration facts.
+	var skipBody *ast.BlockStmt
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		skipBody = rs.Body
+	}
+	analysis.WalkStack(n, func(x ast.Node, _ []ast.Node) bool {
+		if skipBody != nil && x == ast.Node(skipBody) {
+			return false
+		}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false // nested literal bodies replay on their own
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok || call == goCall {
+			return true
+		}
+		callee := c.graph.CalleeOf(call)
+		if callee == nil {
+			return true
+		}
+		for _, id := range decodeSum(c.sums[callee]) {
+			acq := c.byID[id]
+			if acq == nil {
+				continue
+			}
+			for f := range facts {
+				if f.Abs == nil {
+					continue
+				}
+				c.addEdge(f.Abs, acq, call.Pos())
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) addEdge(from, to types.Object, pos token.Pos) {
+	e := edge{from, to}
+	if old, ok := c.edges[e]; !ok || pos < old {
+		c.edges[e] = pos
+	}
+}
+
+// acquireSummaries computes, bottom-up over the call-graph SCCs, the
+// set of lock identities each function may acquire on its own
+// goroutine — encoded as a sorted ";"-joined id string so summaries
+// are comparable for the fixpoint. Unknown callees contribute nothing.
+func (c *checker) acquireSummaries() map[*analysis.FuncNode]string {
+	return analysis.Summaries(c.graph, func(n *analysis.FuncNode, get func(*analysis.FuncNode) string) string {
+		ids := map[string]bool{}
+		analysis.WalkStack(n.Body(), func(x ast.Node, _ []ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false // its acquisitions surface via its own node's edges
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op, ok := lockset.Classify(c.info, call); ok {
+				if op.Abs != nil && op.Kind != lockset.Unlock && op.Kind != lockset.RUnlock {
+					ids[c.idOf(op.Abs)] = true
+				}
+				return true
+			}
+			return true
+		})
+		for _, site := range n.Calls {
+			if site.Callee == nil || site.Go {
+				continue
+			}
+			for _, id := range decodeSum(get(site.Callee)) {
+				ids[id] = true
+			}
+		}
+		return encodeSum(ids)
+	})
+}
+
+func (c *checker) idOf(obj types.Object) string {
+	id := strconv.Itoa(int(obj.Pos()))
+	c.byID[id] = obj
+	return id
+}
+
+func encodeSum(ids map[string]bool) string {
+	if len(ids) == 0 {
+		return ""
+	}
+	out := make([]string, 0, len(ids))
+	for id := range ids {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ";")
+}
+
+func decodeSum(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ";")
+}
+
+// reportCycles finds strongly connected components of the lock-order
+// graph and reports each once, at its lexically first edge. A
+// single-node component counts only with a self-edge (two instances of
+// one lock field acquired while another is held).
+func (c *checker) reportCycles() {
+	if len(c.edges) == 0 {
+		return
+	}
+	// Deterministic adjacency: nodes and edges sorted by position.
+	adj := map[types.Object][]types.Object{}
+	var nodes []types.Object
+	seen := map[types.Object]bool{}
+	ordered := make([]edge, 0, len(c.edges))
+	for e := range c.edges {
+		ordered = append(ordered, e)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if c.edges[ordered[i]] != c.edges[ordered[j]] {
+			return c.edges[ordered[i]] < c.edges[ordered[j]]
+		}
+		return ordered[i].to.Pos() < ordered[j].to.Pos()
+	})
+	for _, e := range ordered {
+		adj[e.from] = append(adj[e.from], e.to)
+		for _, o := range []types.Object{e.from, e.to} {
+			if !seen[o] {
+				seen[o] = true
+				nodes = append(nodes, o)
+			}
+		}
+	}
+
+	for _, comp := range sccs(nodes, adj) {
+		inComp := map[types.Object]bool{}
+		for _, o := range comp {
+			inComp[o] = true
+		}
+		// Collect the component's internal edges; a lone node without a
+		// self-edge is acyclic.
+		var first token.Pos
+		n := 0
+		for e, pos := range c.edges {
+			if inComp[e.from] && inComp[e.to] {
+				if n == 0 || pos < first {
+					first = pos
+				}
+				n++
+			}
+		}
+		if n == 0 || (len(comp) == 1 && !hasSelfEdge(c.edges, comp[0])) {
+			continue
+		}
+		names := make([]string, len(comp))
+		for i, o := range comp {
+			names[i] = c.lockName(o)
+		}
+		sort.Strings(names)
+		if len(comp) == 1 {
+			c.pass.Reportf(first, "potential deadlock: %s may be acquired while another instance of %s is held; define a global order for instances of this lock",
+				names[0], names[0])
+		} else {
+			c.pass.Reportf(first, "potential deadlock: %s are acquired in conflicting orders across this package",
+				strings.Join(names, " and "))
+		}
+	}
+}
+
+func hasSelfEdge(edges map[edge]token.Pos, o types.Object) bool {
+	_, ok := edges[edge{o, o}]
+	return ok
+}
+
+// sccs is Tarjan over the tiny lock-identity graph (recursive: lock
+// graphs have a handful of nodes).
+func sccs(nodes []types.Object, adj map[types.Object][]types.Object) [][]types.Object {
+	index := map[types.Object]int{}
+	low := map[types.Object]int{}
+	onStack := map[types.Object]bool{}
+	var stack []types.Object
+	var comps [][]types.Object
+	next := 0
+	var visit func(o types.Object)
+	visit = func(o types.Object) {
+		index[o], low[o] = next, next
+		next++
+		stack = append(stack, o)
+		onStack[o] = true
+		for _, w := range adj[o] {
+			if _, seen := index[w]; !seen {
+				visit(w)
+				if low[w] < low[o] {
+					low[o] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[o] {
+				low[o] = index[w]
+			}
+		}
+		if low[o] == index[o] {
+			var comp []types.Object
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				comp = append(comp, top)
+				if top == o {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for _, o := range nodes {
+		if _, seen := index[o]; !seen {
+			visit(o)
+		}
+	}
+	return comps
+}
+
+// lockName renders a lock identity for diagnostics: "Type.field" for
+// struct fields, the plain name for package-level variables.
+func (c *checker) lockName(o types.Object) string {
+	if name, ok := c.owners[o]; ok {
+		return name
+	}
+	return o.Name()
+}
+
+// fieldOwners maps every struct field object declared in files to
+// "TypeName.fieldName", so lock identities read as the type declares
+// them rather than as whichever variable happened to hold an instance.
+func fieldOwners(files []*ast.File, info *types.Info) map[types.Object]string {
+	owners := map[types.Object]string{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						if obj := info.Defs[name]; obj != nil {
+							owners[obj] = ts.Name.Name + "." + name.Name
+						}
+					}
+				}
+			}
+		}
+	}
+	return owners
+}

@@ -1,0 +1,230 @@
+// Package a exercises the intraprocedural lockcheck rules: balance on
+// all paths, defer discharge, re-lock, unlock-of-unheld, RWMutex mode
+// mismatches, TryLock branch refinement, //aggvet:holds seeding, and
+// the //aggvet:allow escape hatch.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type table struct {
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+// --- clean idioms: no diagnostics ---
+
+func balanced(c *counter) int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func deferred(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func deferredClosure(c *counter) int {
+	c.mu.Lock()
+	defer func() { c.mu.Unlock() }()
+	return c.n
+}
+
+func branchBalanced(c *counter, fail bool) int {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func readThenWrite(t *table, k string) {
+	t.rw.RLock()
+	n := t.m[k]
+	t.rw.RUnlock()
+	t.rw.Lock()
+	t.m[k] = n + 1
+	t.rw.Unlock()
+}
+
+func tryFast(c *counter) bool {
+	if !c.mu.TryLock() {
+		return false
+	}
+	c.n++
+	c.mu.Unlock()
+	return true
+}
+
+func tryDeferred(c *counter) bool {
+	if !c.mu.TryLock() {
+		return false
+	}
+	defer c.mu.Unlock()
+	c.n++
+	return true
+}
+
+// bump runs with the caller's lock held: the seeded fact keeps the
+// field work legal and charges the release to the caller.
+//
+//aggvet:holds c.mu
+func bump(c *counter) {
+	c.n++
+}
+
+// release is the locked-helper handoff: called under c.mu, releases it.
+//
+//aggvet:holds c.mu
+func release(c *counter) {
+	c.mu.Unlock()
+}
+
+func viaHelpers(c *counter) {
+	c.mu.Lock()
+	bump(c)
+	c.mu.Unlock()
+}
+
+func spawned(c *counter) {
+	c.mu.Lock()
+	go func() {
+		// Fresh goroutine: inherits no locks, so this Lock is not a
+		// re-lock and its balance is checked independently.
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+	c.mu.Unlock()
+}
+
+func panicPath(c *counter, bad bool) int {
+	c.mu.Lock()
+	if bad {
+		panic("invariant")
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// --- violations ---
+
+func leakOnBranch(c *counter, fail bool) int {
+	c.mu.Lock() // want `c\.mu acquired here is not released on every path`
+	if fail {
+		return 0
+	}
+	c.mu.Unlock()
+	return c.n
+}
+
+func leakEverywhere(c *counter) {
+	c.mu.Lock() // want `c\.mu acquired here is not released on every path`
+	c.n++
+}
+
+func tryLeak(c *counter) bool {
+	if !c.mu.TryLock() { // want `c\.mu acquired here is not released on every path`
+		return false
+	}
+	c.n++
+	return true
+}
+
+func relock(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.Lock() // want `c\.mu\.Lock while c\.mu may already be held .*not reentrant`
+	c.n++
+	c.mu.Unlock()
+}
+
+func unheldUnlock(c *counter) {
+	c.mu.Unlock() // want `c\.mu\.Unlock but c\.mu is not held on any path`
+}
+
+func doubleUnlock(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.mu.Unlock() // want `double unlock: c\.mu is already scheduled for release by the defer`
+}
+
+func wrongModeUnlock(t *table, k string) int {
+	t.rw.RLock()
+	n := t.m[k]
+	t.rw.Unlock() // want `t\.rw\.Unlock but t\.rw is read-locked .*use RUnlock`
+	return n
+}
+
+func wrongModeRUnlock(t *table, k string) {
+	t.rw.Lock()
+	t.m[k] = 1
+	t.rw.RUnlock() // want `t\.rw\.RUnlock but t\.rw is write-locked .*use Unlock`
+}
+
+func rlockUnderWrite(t *table, k string) int {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	t.rw.RLock() // want `t\.rw\.RLock while t\.rw is write-locked`
+	n := t.m[k]
+	t.rw.RUnlock()
+	return n
+}
+
+//aggvet:holds c.n
+func badHoldsTarget(c *counter) { // want `malformed //aggvet:holds directive on badHoldsTarget`
+	c.n++
+}
+
+//aggvet:holds q.mu
+func badHoldsRoot(c *counter) { // want `malformed //aggvet:holds directive on badHoldsRoot`
+	c.n++
+}
+
+// --- escape hatch ---
+
+func handoff(c *counter) {
+	// The release happens inside release(c): a cross-function handoff
+	// the per-body may-analysis cannot see, so the acquisition site
+	// carries a rationaled allow.
+	c.mu.Lock() //aggvet:allow lockcheck -- released by the release(c) helper below; handoff is beyond the per-body analysis
+	c.n++
+	release(c)
+}
+
+// --- per-iteration locking inside a range loop ---
+//
+// Body ops replay only from the body block. Regression: the RangeStmt
+// head marker used to re-apply the body's Lock/Unlock at the loop
+// head, corrupting the head facts.
+
+func perIterLock(c *counter, keys []int) {
+	for range keys {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+func leakInLoop(c *counter, keys []int) {
+	for _, k := range keys {
+		if k > 0 {
+			// The next iteration may re-lock the still-held mutex (the
+			// back edge carries the fact), so both rules fire.
+			c.mu.Lock() // want `c\.mu acquired here is not released on every path` `c\.mu\.Lock while c\.mu may already be held`
+			continue
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package order exercises the cross-function lock-order graph: edges
+// are recorded when a lock is acquired — directly or through a
+// summarized call — while another is held, and any cycle among the
+// instance-independent lock identities is a potential deadlock.
+package order
+
+import "sync"
+
+type a struct{ mu sync.Mutex }
+type b struct{ mu sync.Mutex }
+
+// ab and ba acquire the two locks in opposite orders: the classic
+// two-goroutine deadlock. Reported once, at the lexically first edge.
+func ab(x *a, y *b) {
+	x.mu.Lock()
+	y.mu.Lock() // want `potential deadlock: a\.mu and b\.mu are acquired in conflicting orders`
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func ba(x *a, y *b) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+type c struct{ mu sync.Mutex }
+type d struct{ mu sync.Mutex }
+
+func lockD(y *d) {
+	y.mu.Lock()
+	y.mu.Unlock()
+}
+
+// cThenD takes d.mu through a callee while holding c.mu — the edge
+// comes from lockD's bottom-up acquire summary, not its text.
+func cThenD(x *c, y *d) {
+	x.mu.Lock()
+	lockD(y) // want `potential deadlock: c\.mu and d\.mu are acquired in conflicting orders`
+	x.mu.Unlock()
+}
+
+func dThenC(x *c, y *d) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+type node struct {
+	mu   sync.Mutex
+	coin int
+}
+
+// transfer locks two instances of the same lock field with no global
+// order — the textbook account-transfer deadlock.
+func transfer(from, to *node, n int) {
+	from.mu.Lock()
+	to.mu.Lock() // want `potential deadlock: node\.mu may be acquired while another instance of node\.mu is held`
+	from.coin -= n
+	to.coin += n
+	to.mu.Unlock()
+	from.mu.Unlock()
+}
+
+type p struct{ mu sync.Mutex }
+type q struct{ mu sync.Mutex }
+
+// Consistent nesting p.mu → q.mu everywhere: edges but no cycle, no
+// diagnostics.
+func pqOne(x *p, y *q) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func pqTwo(x *p, y *q) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock()
+	defer y.mu.Unlock()
+}
+
+type spawnerT struct{ mu sync.Mutex }
+type workerT struct{ mu sync.Mutex }
+
+// Goroutine boundaries cut lock-order edges: the spawned work is not
+// ordered after the spawner's held lock, so this opposite "order"
+// through go is not a cycle.
+func spawner(s *spawnerT, w *workerT) {
+	s.mu.Lock()
+	go func() {
+		w.mu.Lock()
+		w.mu.Unlock()
+	}()
+	s.mu.Unlock()
+}
+
+func worker(s *spawnerT, w *workerT) {
+	w.mu.Lock()
+	go deep(s)
+	w.mu.Unlock()
+}
+
+func deep(s *spawnerT) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}

@@ -1,0 +1,383 @@
+// Package lockguard enforces mutex-guarded field discipline — the
+// Clang thread-safety annotations, translated to this codebase. A
+// struct field annotated
+//
+//	//aggvet:guard mu
+//
+// (doc comment or trailing line comment on the field) may only be read
+// or written while the sibling mutex field mu is in the lock-set; a
+// write additionally requires the WRITE half of an RWMutex — reading
+// under RLock is fine, mutating under RLock is the data race RLock
+// exists to prevent.
+//
+// The lock-set comes from the shared engine (internal/analysis/lockset):
+// the same forward may-analysis lockcheck runs, including defer
+// discharge (a lock scheduled for release by defer is held until exit),
+// TryLock branch refinement, //aggvet:holds seeding for helpers that
+// run under a caller's lock, and creation-point inheritance for nested
+// function literals (a closure created under a held lock sees it held;
+// a `go`-launched literal starts with nothing — so touching a guarded
+// field from a spawned goroutine without locking is reported, which is
+// the point).
+//
+// Because this is a may-analysis, "not held" means held on NO path
+// reaching the access — every report is a path the race detector could
+// in principle catch, given the right interleaving.
+//
+// Construction is exempt the way Clang exempts constructors: writes
+// through a variable that is provably a fresh, function-local
+// allocation (declared in this body with a composite-literal or new()
+// initializer and never reassigned) are unpublished and need no lock.
+// Everything else escapes through //aggvet:allow with a rationale.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"parallelagg/internal/analysis"
+	"parallelagg/internal/analysis/cfg"
+	"parallelagg/internal/analysis/lockset"
+)
+
+// Marker is the field directive: "//aggvet:guard <mutex-field>".
+const Marker = "aggvet:guard"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "enforce //aggvet:guard mutex-guarded field access\n\n" +
+		"A field annotated //aggvet:guard mu may only be touched while the\n" +
+		"sibling mutex mu is held on every path: reads need the lock in any\n" +
+		"mode, writes need the write mode. Helpers running under a caller's\n" +
+		"lock declare it with //aggvet:holds; fresh local allocations are\n" +
+		"construction and exempt.",
+	Run: run,
+}
+
+// A guard ties a field to the sibling mutex that protects it.
+type guard struct {
+	owner     string // "Type.field", for diagnostics
+	guardName string // sibling mutex field name
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	c := &checker{pass: pass, info: pass.TypesInfo, guards: guards}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			// Malformed //aggvet:holds is lockcheck's report; here a bad
+			// directive just seeds nothing (conservative: fewer held locks).
+			seed, _ := lockset.HoldsSeed(c.info, decl)
+			lockset.Analyze(c.info, decl, seed, c.checkBody)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	info   *types.Info
+	guards map[*types.Var]*guard
+}
+
+// collectGuards finds every //aggvet:guard field in the package and
+// validates that the named guard is a sibling mutex field.
+func collectGuards(pass *analysis.Pass) map[*types.Var]*guard {
+	guards := map[*types.Var]*guard{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				spec, ok := guardSpec(field.Doc, field.Comment)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					obj, _ := pass.TypesInfo.Defs[name].(*types.Var)
+					if obj == nil {
+						continue
+					}
+					if !siblingMutex(st, pass.TypesInfo, spec) {
+						pass.Reportf(name.Pos(), "//aggvet:guard %s on field %s: %s is not a sibling sync.Mutex or sync.RWMutex field of %s",
+							spec, name.Name, spec, ts.Name.Name)
+						continue
+					}
+					guards[obj] = &guard{
+						owner:     ts.Name.Name + "." + name.Name,
+						guardName: spec,
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardSpec extracts the directive's mutex name from the field's doc
+// or trailing comment.
+func guardSpec(groups ...*ast.CommentGroup) (string, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue
+			}
+			rest, ok := strings.CutPrefix(strings.TrimSpace(text), Marker)
+			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 1 {
+				return fields[0], true
+			}
+			return "", false
+		}
+	}
+	return "", false
+}
+
+// siblingMutex reports whether the struct has a field named spec whose
+// type is a mutex.
+func siblingMutex(st *ast.StructType, info *types.Info, spec string) bool {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name != spec {
+				continue
+			}
+			if obj, ok := info.Defs[name].(*types.Var); ok {
+				return lockset.IsMutex(obj.Type())
+			}
+		}
+	}
+	return false
+}
+
+// checkBody replays one solved body, reporting guarded-field accesses
+// made without the guard in the lock-set.
+func (c *checker) checkBody(b *lockset.Body) {
+	fresh := freshLocals(c.info, b)
+	for _, blk := range b.Graph.Blocks {
+		facts := cfg.Facts[lockset.Fact]{}
+		for f := range b.In[blk] {
+			facts.Add(f)
+		}
+		for _, n := range blk.Stmts {
+			c.checkNode(n, facts, fresh)
+			lockset.Step(c.info, n, facts)
+		}
+	}
+}
+
+// checkNode checks every guarded-field selector in the node (nested
+// literals excluded — they replay as their own bodies with
+// creation-point facts).
+func (c *checker) checkNode(n ast.Node, facts cfg.Facts[lockset.Fact], fresh map[types.Object]bool) {
+	// A RangeStmt in a head block is the loop-header marker: only its
+	// Key/Value/X evaluate with the head's facts. Body accesses replay
+	// in the body block, whose entry facts include the per-iteration
+	// lock state — checking them here would use pre-loop facts.
+	var skipBody *ast.BlockStmt
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		skipBody = rs.Body
+	}
+	analysis.WalkStack(n, func(x ast.Node, stack []ast.Node) bool {
+		if skipBody != nil && x == ast.Node(skipBody) {
+			return false
+		}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field, _ := c.info.Uses[sel.Sel].(*types.Var)
+		g := c.guards[field]
+		if g == nil {
+			return true
+		}
+		root, path, ok := lockset.Flatten(c.info, sel)
+		if !ok || root == nil {
+			return true
+		}
+		if fresh[root] {
+			return true // construction: unpublished fresh allocation
+		}
+		write := isWrite(sel, stack)
+		lockChain := guardChain(path, g.guardName)
+		hit, held := lockset.Held(facts, root, lockChain)
+		verb := "read"
+		if write {
+			verb = "written"
+		}
+		switch {
+		case !held:
+			c.pass.Reportf(sel.Sel.Pos(), "field %s is %s without holding %s (//aggvet:guard %s)",
+				g.owner, verb, chainString(root, lockChain), g.guardName)
+		case write && hit.Read:
+			c.pass.Reportf(sel.Sel.Pos(), "field %s is written while %s is only read-locked: writes need the write lock (//aggvet:guard %s)",
+				g.owner, chainString(root, lockChain), g.guardName)
+		}
+		return true
+	})
+}
+
+// guardChain rewrites the access path to its sibling guard: access
+// path "n" guards as "mu"; "t.spans" (root s, struct at s.t) guards as
+// "t.mu".
+func guardChain(accessPath, guardName string) string {
+	if i := strings.LastIndex(accessPath, "."); i >= 0 {
+		return accessPath[:i+1] + guardName
+	}
+	return guardName
+}
+
+func chainString(root types.Object, path string) string {
+	if path == "" {
+		return root.Name()
+	}
+	return root.Name() + "." + path
+}
+
+// isWrite reports whether the selector is a mutation site: assignment
+// target (plain, op-assign, or range), inc/dec target, or
+// address-taken (an escaping alias can be written any time, so it
+// needs the write lock).
+func isWrite(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	// Walk out of parens and the selector's own chain position: for
+	// `c.n` in `c.n = 1` the parent is the AssignStmt directly; for
+	// `c.b.n` the inner selectors are X-children of the outer one.
+	child := ast.Node(sel)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = p
+			continue
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if ast.Unparen(lhs) == child {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return ast.Unparen(p.X) == child
+		case *ast.UnaryExpr:
+			return p.Op == token.AND && ast.Unparen(p.X) == child
+		case *ast.RangeStmt:
+			return ast.Unparen(p.Key) == child || ast.Unparen(p.Value) == child
+		case *ast.IndexExpr:
+			// Writing an ELEMENT (m[k] = v, s[i] = v) mutates the guarded
+			// container: keep walking up from the index expression.
+			if p.X == child {
+				child = p
+				continue
+			}
+			return false
+		case *ast.SelectorExpr:
+			// c.b.n = 1 writes INTO the guarded c.b: keep walking up from
+			// the base position of the enclosing selector.
+			if p.X == child {
+				child = p
+				continue
+			}
+			return false
+		case *ast.StarExpr:
+			child = p
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// freshLocals returns the body-local variables that are provably
+// fresh, unpublished allocations: declared here with a composite
+// literal, &composite, or new() initializer, and never reassigned.
+// Writes through them are construction.
+func freshLocals(info *types.Info, b *lockset.Body) map[types.Object]bool {
+	var body *ast.BlockStmt
+	if b.Lit != nil {
+		body = b.Lit.Body
+	} else {
+		body = b.Decl.Body
+	}
+	fresh := map[types.Object]bool{}
+	assigns := map[types.Object]int{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != b.Lit {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			assigns[obj]++
+			if as.Tok != token.DEFINE || i >= len(as.Rhs) {
+				continue
+			}
+			if isAllocation(as.Rhs[i]) {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	for obj := range fresh {
+		if assigns[obj] > 1 {
+			delete(fresh, obj) // reassigned: may alias something shared
+		}
+	}
+	return fresh
+}
+
+// isAllocation recognizes fresh-allocation initializers: T{...},
+// &T{...}, new(T).
+func isAllocation(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			return id.Name == "new"
+		}
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"parallelagg/internal/analysis/analysistest"
+	"parallelagg/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, "testdata", lockguard.Analyzer,
+		"g",
+	)
+}

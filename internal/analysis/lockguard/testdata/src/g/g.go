@@ -1,0 +1,209 @@
+// Package g exercises lockguard: //aggvet:guard fields may only be
+// touched with the sibling mutex in the lock-set, writes need the
+// write mode, helpers declare caller-held locks with //aggvet:holds,
+// construction of fresh locals is exempt, and goroutine boundaries
+// drop inherited locks.
+package g
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	//aggvet:guard mu
+	n int
+}
+
+type table struct {
+	rw sync.RWMutex
+	//aggvet:guard rw
+	m map[string]int
+}
+
+// tracer/span mirror internal/trace: the guarded field is reached
+// through a pointer chain (s.t.spans), so the guard resolves to the
+// sibling on the same chain (s.t.mu).
+type tracer struct {
+	mu sync.Mutex
+	//aggvet:guard mu
+	spans []int
+}
+
+type span struct{ t *tracer }
+
+// trailing-comment directive placement.
+type flagbox struct {
+	mu  sync.Mutex
+	hot bool //aggvet:guard mu
+}
+
+// --- clean idioms: no diagnostics ---
+
+func bump(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func get(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func lookup(t *table, k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.m[k]
+}
+
+func store(t *table, k string, v int) {
+	t.rw.Lock()
+	t.m[k] = v
+	t.rw.Unlock()
+}
+
+func tryBump(c *counter) bool {
+	if !c.mu.TryLock() {
+		return false
+	}
+	c.n++
+	c.mu.Unlock()
+	return true
+}
+
+func (s *span) end(v int) {
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, v)
+	s.t.mu.Unlock()
+}
+
+func setHot(b *flagbox) {
+	b.mu.Lock()
+	b.hot = true
+	b.mu.Unlock()
+}
+
+// bumpLocked runs under the caller's lock (the Clang REQUIRES shape).
+//
+//aggvet:holds c.mu
+func bumpLocked(c *counter) {
+	c.n++
+}
+
+func viaHelper(c *counter) {
+	c.mu.Lock()
+	bumpLocked(c)
+	c.mu.Unlock()
+}
+
+// newCounter writes through a fresh, unpublished allocation:
+// construction is exempt.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 41
+	c.n++
+	return c
+}
+
+func newTable() *table {
+	t := new(table)
+	t.m = map[string]int{}
+	return t
+}
+
+// lockedClosure: a literal created under a held lock inherits it.
+func lockedClosure(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	read := func() int { return c.n }
+	return read()
+}
+
+// --- violations ---
+
+func nakedRead(c *counter) int {
+	return c.n // want `field counter\.n is read without holding c\.mu \(//aggvet:guard mu\)`
+}
+
+func nakedWrite(c *counter) {
+	c.n = 7 // want `field counter\.n is written without holding c\.mu`
+}
+
+func nakedIncr(c *counter) {
+	c.n++ // want `field counter\.n is written without holding c\.mu`
+}
+
+func addrUnderLock(c *counter) {
+	c.mu.Lock()
+	p := &c.n
+	*p = 9
+	c.mu.Unlock()
+}
+
+func nakedAddr(c *counter) *int {
+	return &c.n // want `field counter\.n is written without holding c\.mu`
+}
+
+func unlockedTail(c *counter) int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want `field counter\.n is read without holding c\.mu`
+}
+
+func writeUnderRLock(t *table, k string) {
+	t.rw.RLock()
+	t.m[k] = 1 // want `field table\.m is written while t\.rw is only read-locked`
+	t.rw.RUnlock()
+}
+
+func deepNakedWrite(s *span, v int) {
+	s.t.spans = append(s.t.spans, v) // want `field tracer\.spans is written without holding s\.t\.mu` `field tracer\.spans is read without holding s\.t\.mu`
+}
+
+func spawnedWrite(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `field counter\.n is written without holding c\.mu`
+	}()
+}
+
+// --- misconfiguration ---
+
+type badGuard struct {
+	mu sync.Mutex
+	//aggvet:guard missing
+	x int // want `//aggvet:guard missing on field x: missing is not a sibling sync\.Mutex or sync\.RWMutex field of badGuard`
+	//aggvet:guard x
+	y int // want `//aggvet:guard x on field y: x is not a sibling sync\.Mutex or sync\.RWMutex field of badGuard`
+}
+
+// --- escape hatch ---
+
+func statsPeek(c *counter) int {
+	return c.n //aggvet:allow lockguard -- approximate metrics read; staleness is acceptable by design
+}
+
+// --- per-iteration locking inside a range loop ---
+//
+// The loop body is its own CFG block; the RangeStmt head marker must
+// not walk into it with the head's (pre-iteration) facts. Regression:
+// this pattern used to be reported as an unheld read.
+
+func sumPerIter(c *counter, keys []int) int {
+	total := 0
+	for range keys {
+		c.mu.Lock()
+		total += c.n
+		c.mu.Unlock()
+	}
+	return total
+}
+
+// The range header itself DOES evaluate with the head's facts: ranging
+// over a guarded container without the lock is still reported.
+func rangeHeaderUnheld(t *tracer) {
+	for range t.spans { // want `field tracer\.spans is read without holding t\.mu`
+	}
+}

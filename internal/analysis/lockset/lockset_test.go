@@ -1,0 +1,398 @@
+package lockset
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+
+	"parallelagg/internal/analysis/cfg"
+)
+
+func check(t *testing.T, src string) (*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "l.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("l", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return f, info
+}
+
+func declNamed(t *testing.T, f *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("no decl %s", name)
+	return nil
+}
+
+// exitChains analyzes decl and renders the exit lock-set of its own
+// body as sorted "chain" / "chain(deferred)" / "chain(seeded)" strings.
+func exitChains(t *testing.T, f *ast.File, info *types.Info, name string, seed []Fact) []string {
+	t.Helper()
+	var out []string
+	Analyze(info, declNamed(t, f, name), seed, func(b *Body) {
+		if b.Lit != nil {
+			return
+		}
+		for fact := range b.Exit() {
+			s := fact.Chain()
+			switch {
+			case fact.Seeded:
+				s += "(seeded)"
+			case fact.Deferred:
+				s += "(deferred)"
+			}
+			if fact.Read {
+				s += "[r]"
+			}
+			out = append(out, s)
+		}
+	})
+	sort.Strings(out)
+	return out
+}
+
+const header = `package l
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+`
+
+func TestBalancedLockUnlockExitsEmpty(t *testing.T) {
+	f, info := check(t, header+`
+func (b *box) get() int {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+`)
+	if got := exitChains(t, f, info, "get", nil); len(got) != 0 {
+		t.Fatalf("balanced lock/unlock leaked facts at exit: %v", got)
+	}
+}
+
+func TestDeferUnlockHeldToExitAsDeferred(t *testing.T) {
+	f, info := check(t, header+`
+func (b *box) get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+`)
+	got := exitChains(t, f, info, "get", nil)
+	if len(got) != 1 || got[0] != "b.mu(deferred)" {
+		t.Fatalf("defer unlock: want [b.mu(deferred)], got %v", got)
+	}
+}
+
+func TestDeferClosureUnlockDischarges(t *testing.T) {
+	f, info := check(t, header+`
+func (b *box) get() int {
+	b.mu.Lock()
+	defer func() { b.mu.Unlock() }()
+	return b.n
+}
+`)
+	got := exitChains(t, f, info, "get", nil)
+	if len(got) != 1 || got[0] != "b.mu(deferred)" {
+		t.Fatalf("defer-closure unlock: want [b.mu(deferred)], got %v", got)
+	}
+}
+
+func TestMissedUnlockOnBranchReachesExit(t *testing.T) {
+	f, info := check(t, header+`
+func (b *box) get(c bool) int {
+	b.mu.Lock()
+	if c {
+		return 0
+	}
+	b.mu.Unlock()
+	return b.n
+}
+`)
+	got := exitChains(t, f, info, "get", nil)
+	if len(got) != 1 || got[0] != "b.mu" {
+		t.Fatalf("early return past unlock: want [b.mu], got %v", got)
+	}
+}
+
+func TestRLockTracksReadMode(t *testing.T) {
+	f, info := check(t, header+`
+func (b *box) get() int {
+	b.rw.RLock()
+	return b.n
+}
+`)
+	got := exitChains(t, f, info, "get", nil)
+	if len(got) != 1 || got[0] != "b.rw[r]" {
+		t.Fatalf("RLock: want [b.rw[r]], got %v", got)
+	}
+}
+
+func TestTryLockHeldOnlyOnSuccessEdge(t *testing.T) {
+	f, info := check(t, header+`
+func (b *box) fast() (int, bool) {
+	if !b.mu.TryLock() {
+		return 0, false
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n, true
+}
+`)
+	// The failure path returns without the lock; the success path
+	// unlocks. Nothing held at exit.
+	if got := exitChains(t, f, info, "fast", nil); len(got) != 0 {
+		t.Fatalf("TryLock guard: want empty exit set, got %v", got)
+	}
+
+	// Drop the Unlock: the success path leaks the try-acquired lock.
+	f, info = check(t, header+`
+func (b *box) fast() (int, bool) {
+	if !b.mu.TryLock() {
+		return 0, false
+	}
+	return b.n, true
+}
+`)
+	got := exitChains(t, f, info, "fast", nil)
+	if len(got) != 1 || got[0] != "b.mu" {
+		t.Fatalf("TryLock leak: want [b.mu], got %v", got)
+	}
+}
+
+func TestPanicPathDoesNotReachExit(t *testing.T) {
+	f, info := check(t, header+`
+func (b *box) get(c bool) int {
+	b.mu.Lock()
+	if c {
+		panic("boom")
+	}
+	b.mu.Unlock()
+	return b.n
+}
+`)
+	if got := exitChains(t, f, info, "get", nil); len(got) != 0 {
+		t.Fatalf("panic path leaked lock to exit: %v", got)
+	}
+}
+
+func TestHoldsSeedResolvesReceiverChain(t *testing.T) {
+	f, info := check(t, header+`
+//aggvet:holds b.mu
+func (b *box) locked() int { return b.n }
+`)
+	decl := declNamed(t, f, "locked")
+	seed, bad := HoldsSeed(info, decl)
+	if len(bad) != 0 {
+		t.Fatalf("valid holds flagged bad: %v", bad)
+	}
+	if len(seed) != 1 || seed[0].Chain() != "b.mu" || !seed[0].Seeded {
+		t.Fatalf("holds seed: want seeded b.mu, got %+v", seed)
+	}
+	if seed[0].Abs == nil || seed[0].Abs.Name() != "mu" {
+		t.Fatalf("holds seed Abs: want field mu, got %v", seed[0].Abs)
+	}
+	// The seed survives to exit (caller releases it).
+	got := exitChains(t, f, info, "locked", seed)
+	if len(got) != 1 || got[0] != "b.mu(seeded)" {
+		t.Fatalf("seed propagation: want [b.mu(seeded)], got %v", got)
+	}
+}
+
+func TestHoldsSeedRejectsNonMutexAndUnknownParam(t *testing.T) {
+	f, info := check(t, header+`
+//aggvet:holds b.n
+func (b *box) notAMutex() {}
+
+//aggvet:holds q.mu
+func (b *box) unknownRoot() {}
+`)
+	for _, name := range []string{"notAMutex", "unknownRoot"} {
+		seed, bad := HoldsSeed(info, declNamed(t, f, name))
+		if len(seed) != 0 || len(bad) != 1 {
+			t.Fatalf("%s: want 1 bad directive, got seed=%v bad=%v", name, seed, bad)
+		}
+	}
+}
+
+func TestSeedKilledByUnlock(t *testing.T) {
+	f, info := check(t, header+`
+//aggvet:holds b.mu
+func (b *box) release() {
+	b.mu.Unlock()
+}
+`)
+	decl := declNamed(t, f, "release")
+	seed, _ := HoldsSeed(info, decl)
+	if got := exitChains(t, f, info, "release", seed); len(got) != 0 {
+		t.Fatalf("unlock should kill the seeded fact: %v", got)
+	}
+}
+
+func TestFuncLitInheritsCreationFacts(t *testing.T) {
+	f, info := check(t, header+`
+func (b *box) each(fn func()) {
+	b.mu.Lock()
+	f := func() { b.n++ }
+	f()
+	b.mu.Unlock()
+	_ = fn
+}
+`)
+	var litSeed []string
+	Analyze(info, declNamed(t, f, "each"), nil, func(body *Body) {
+		if body.Lit == nil {
+			return
+		}
+		for fact := range body.Seed {
+			s := fact.Chain()
+			if fact.Seeded {
+				s += "(seeded)"
+			}
+			litSeed = append(litSeed, s)
+		}
+	})
+	sort.Strings(litSeed)
+	if len(litSeed) != 1 || litSeed[0] != "b.mu(seeded)" {
+		t.Fatalf("lit creation seed: want [b.mu(seeded)], got %v", litSeed)
+	}
+}
+
+func TestGoLitStartsEmpty(t *testing.T) {
+	f, info := check(t, header+`
+func (b *box) spawn() {
+	b.mu.Lock()
+	go func() { b.n++ }()
+	b.mu.Unlock()
+}
+`)
+	Analyze(info, declNamed(t, f, "spawn"), nil, func(body *Body) {
+		if body.Lit == nil {
+			return
+		}
+		if !body.Spawned {
+			t.Fatal("go-launched literal not marked Spawned")
+		}
+		if len(body.Seed) != 0 {
+			t.Fatalf("go literal inherited locks: %v", body.Seed)
+		}
+	})
+}
+
+func TestClassifyIgnoresNonMutexAndWrongArity(t *testing.T) {
+	f, info := check(t, header+`
+type fake struct{}
+
+func (fake) Lock() {}
+
+func use(f fake, b *box) {
+	f.Lock()
+	_ = b
+}
+`)
+	count := 0
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := Classify(info, call); ok {
+				count++
+			}
+		}
+		return true
+	})
+	if count != 0 {
+		t.Fatalf("Classify matched %d non-sync Lock calls", count)
+	}
+}
+
+func TestAbsObjectSharedAcrossInstances(t *testing.T) {
+	f, info := check(t, header+`
+func two(a, b *box) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+`)
+	var abs []types.Object
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := Classify(info, call); ok && op.Kind == Lock {
+				abs = append(abs, op.Abs)
+			}
+		}
+		return true
+	})
+	if len(abs) != 2 || abs[0] == nil || abs[0] != abs[1] {
+		t.Fatalf("a.mu and b.mu must share one Abs identity, got %v", abs)
+	}
+}
+
+func TestOpsInSeesDeferredClosureReleaseOnly(t *testing.T) {
+	f, info := check(t, header+`
+func (b *box) f() {
+	defer func() {
+		b.rw.Lock()
+		b.rw.Unlock()
+		b.mu.Unlock()
+	}()
+}
+`)
+	var stmt ast.Stmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			stmt = d
+		}
+		return true
+	})
+	ops := OpsIn(info, stmt)
+	var got []string
+	for _, op := range ops {
+		s := op.Chain() + "." + op.Kind.String()
+		if op.Deferred {
+			s += "(d)"
+		}
+		got = append(got, s)
+	}
+	sort.Strings(got)
+	want := "b.mu.Unlock(d) b.rw.Unlock(d)"
+	if strings.Join(got, " ") != want {
+		t.Fatalf("deferred closure ops: want %q, got %q", want, strings.Join(got, " "))
+	}
+}
+
+func TestHeldPrefersWriteMode(t *testing.T) {
+	facts := cfg.Facts[Fact]{}
+	root := types.NewVar(token.NoPos, nil, "b", types.Typ[types.Int])
+	facts.Add(Fact{Root: root, Path: "rw", Read: true, Pos: 1})
+	facts.Add(Fact{Root: root, Path: "rw", Read: false, Pos: 2})
+	hit, ok := Held(facts, root, "rw")
+	if !ok || hit.Read {
+		t.Fatalf("Held should prefer the write-mode fact, got %+v ok=%v", hit, ok)
+	}
+}

@@ -1,0 +1,14 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"parallelagg/internal/analysis/analysistest"
+	"parallelagg/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer,
+		"n",
+	)
+}

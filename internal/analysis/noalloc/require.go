@@ -1,0 +1,93 @@
+package noalloc
+
+// The static zero-alloc gate has a hole if someone simply deletes an
+// //aggvet:noalloc annotation: the analyzer goes quiet and the contract
+// silently evaporates, leaving only the runtime pins. `aggvet
+// -require-noalloc` closes it — scripts/lint.sh pins the exact
+// functions that must stay annotated (the ones TestAllocsPin* measures),
+// so removing an annotation fails `make lint` just as surely as
+// introducing an allocation does.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+// Require checks each spec, of the form
+//
+//	<dir>:<Func>[,<Func>...]
+//
+// asserting that every named function declared in the package directory
+// carries the //aggvet:noalloc annotation. It prints one line per
+// verified function to w and returns an error naming every function
+// that is missing, unannotated, or ambiguous.
+func Require(w io.Writer, specs ...string) error {
+	if len(specs) == 0 {
+		return fmt.Errorf("no specs: want <dir>:<Func>[,<Func>...]")
+	}
+	var failures []string
+	for _, spec := range specs {
+		dir, funcs, ok := strings.Cut(spec, ":")
+		if !ok || dir == "" || funcs == "" {
+			return fmt.Errorf("malformed spec %q: want <dir>:<Func>[,<Func>...]", spec)
+		}
+		annotated, declared, err := scanDir(dir)
+		if err != nil {
+			return fmt.Errorf("spec %q: %w", spec, err)
+		}
+		for _, name := range strings.Split(funcs, ",") {
+			name = strings.TrimSpace(name)
+			switch {
+			case name == "":
+				return fmt.Errorf("malformed spec %q: empty function name", spec)
+			case annotated[name]:
+				fmt.Fprintf(w, "%s: %s is //aggvet:noalloc\n", dir, name)
+			case declared[name]:
+				failures = append(failures, fmt.Sprintf("%s: %s has no //aggvet:noalloc annotation", dir, name))
+			default:
+				failures = append(failures, fmt.Sprintf("%s: no function named %s", dir, name))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		sort.Strings(failures)
+		return fmt.Errorf("required //aggvet:noalloc annotations missing:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// scanDir parses the package directory (tests excluded) and returns the
+// sets of annotated and declared function names. Methods count by their
+// bare name: the pins name functions uniquely within their package.
+func scanDir(dir string) (annotated, declared map[string]bool, err error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, nil, err
+	}
+	annotated = map[string]bool{}
+	declared = map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				declared[decl.Name.Name] = true
+				if isAnnotated(decl) {
+					annotated[decl.Name.Name] = true
+				}
+			}
+		}
+	}
+	return annotated, declared, nil
+}

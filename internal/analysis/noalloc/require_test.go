@@ -1,0 +1,74 @@
+package noalloc
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	// Annotations in test files must not satisfy the gate.
+	testSrc := "package p\n\n//aggvet:noalloc\nfunc testOnly() {}\n"
+	if err := os.WriteFile(filepath.Join(dir, "p_test.go"), []byte(testSrc), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+const requireSrc = `package p
+
+//aggvet:noalloc
+func Hot() {}
+
+func Cold() {}
+`
+
+func TestRequireAnnotated(t *testing.T) {
+	dir := writePkg(t, requireSrc)
+	var out bytes.Buffer
+	if err := Require(&out, dir+":Hot"); err != nil {
+		t.Fatalf("Require on annotated function: %v", err)
+	}
+	if !strings.Contains(out.String(), "Hot is //aggvet:noalloc") {
+		t.Fatalf("verification line missing:\n%s", out.String())
+	}
+}
+
+func TestRequireUnannotated(t *testing.T) {
+	dir := writePkg(t, requireSrc)
+	err := Require(&bytes.Buffer{}, dir+":Hot,Cold")
+	if err == nil || !strings.Contains(err.Error(), "Cold has no //aggvet:noalloc annotation") {
+		t.Fatalf("Require(Cold) = %v, want missing-annotation error", err)
+	}
+}
+
+func TestRequireMissingFunction(t *testing.T) {
+	dir := writePkg(t, requireSrc)
+	err := Require(&bytes.Buffer{}, dir+":Gone")
+	if err == nil || !strings.Contains(err.Error(), "no function named Gone") {
+		t.Fatalf("Require(Gone) = %v, want unknown-function error", err)
+	}
+}
+
+func TestRequireTestFilesExcluded(t *testing.T) {
+	dir := writePkg(t, requireSrc)
+	err := Require(&bytes.Buffer{}, dir+":testOnly")
+	if err == nil || !strings.Contains(err.Error(), "no function named testOnly") {
+		t.Fatalf("Require(testOnly) = %v: a _test.go annotation must not satisfy the gate", err)
+	}
+}
+
+func TestRequireMalformedSpec(t *testing.T) {
+	for _, spec := range []string{"nodirsep", ":Hot", "dir:", "dir:Hot,,"} {
+		if err := Require(&bytes.Buffer{}, spec); err == nil {
+			t.Errorf("Require(%q) accepted a malformed spec", spec)
+		}
+	}
+}

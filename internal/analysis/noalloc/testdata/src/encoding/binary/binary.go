@@ -1,0 +1,21 @@
+// Package binary is a hermetic stub: the whitelist admits the endian
+// put/get methods by name.
+package binary
+
+type littleEndian struct{}
+
+// LittleEndian mirrors encoding/binary.LittleEndian.
+var LittleEndian littleEndian
+
+func (littleEndian) PutUint32(b []byte, v uint32) {
+	_ = b[3]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func (littleEndian) Uint32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

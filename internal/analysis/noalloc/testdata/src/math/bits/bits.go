@@ -1,0 +1,11 @@
+// Package bits is a hermetic stub: the whole package is whitelisted.
+package bits
+
+func OnesCount64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,9 @@
+// Package atomic is a hermetic stub: the whole package is whitelisted.
+package atomic
+
+func AddInt64(p *int64, delta int64) int64 {
+	*p += delta
+	return *p
+}
+
+func LoadInt64(p *int64) int64 { return *p }

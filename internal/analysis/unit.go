@@ -70,6 +70,7 @@ func UnitMain(analyzers ...*Analyzer) {
 
 	versionFlag := flag.String("V", "", "print version information ('full' is what the go command sends)")
 	flagsFlag := flag.Bool("flags", false, "print the tool's flags as JSON (go vet handshake)")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON, one object per line: {file, line, col, analyzer, message}")
 	enabled := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
 		doc, _, _ := strings.Cut(a.Doc, "\n")
@@ -110,7 +111,7 @@ func UnitMain(analyzers ...*Analyzer) {
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
 		flag.Usage()
 	}
-	code, err := runUnit(args[0], selected, os.Stderr)
+	code, err := runUnit(args[0], selected, os.Stderr, *jsonFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func printFlagsJSON() {
 // returns the process exit code. Every failure mode — unreadable or
 // corrupt config, missing export data, a panicking analyzer — comes back
 // as an error naming the culprit; the caller decides how to die.
-func runUnit(cfgFile string, analyzers []*Analyzer, stderr io.Writer) (int, error) {
+func runUnit(cfgFile string, analyzers []*Analyzer, stderr io.Writer, asJSON bool) (int, error) {
 	cfg, err := readUnitConfig(cfgFile)
 	if err != nil {
 		return 0, err
@@ -229,12 +230,43 @@ func runUnit(cfgFile string, analyzers []*Analyzer, stderr io.Writer) (int, erro
 		return 0, err
 	}
 	for _, d := range diags {
-		fmt.Fprintf(stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		if asJSON {
+			writeJSONDiag(stderr, fset, d)
+		} else {
+			fmt.Fprintf(stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// writeJSONDiag prints one diagnostic as a single JSON object on its
+// own line — the -json mode CI problem matchers and editor integrations
+// consume. The analyzer prefix moves from the message into its own
+// field so consumers need no string surgery.
+func writeJSONDiag(w io.Writer, fset *token.FileSet, d Diagnostic) {
+	posn := fset.Position(d.Pos)
+	rec := struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}{
+		File:     posn.Filename,
+		Line:     posn.Line,
+		Col:      posn.Column,
+		Analyzer: d.Analyzer,
+		Message:  strings.TrimPrefix(d.Message, d.Analyzer+": "),
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		fmt.Fprintf(w, "%s: %s\n", posn, d.Message) // cannot happen: all fields are plain
+		return
+	}
+	w.Write(append(data, '\n'))
 }
 
 func readUnitConfig(cfgFile string) (*unitConfig, error) {

@@ -43,7 +43,7 @@ func writeSrc(t *testing.T, name, src string) string {
 }
 
 func TestRunUnitMissingConfig(t *testing.T) {
-	_, err := runUnit(filepath.Join(t.TempDir(), "absent.cfg"), nil, &bytes.Buffer{})
+	_, err := runUnit(filepath.Join(t.TempDir(), "absent.cfg"), nil, &bytes.Buffer{}, false)
 	if err == nil {
 		t.Fatal("runUnit accepted a nonexistent config file")
 	}
@@ -51,7 +51,7 @@ func TestRunUnitMissingConfig(t *testing.T) {
 
 func TestRunUnitCorruptConfig(t *testing.T) {
 	cfgFile := writeCfg(t, nil, []byte("{not json"))
-	_, err := runUnit(cfgFile, nil, &bytes.Buffer{})
+	_, err := runUnit(cfgFile, nil, &bytes.Buffer{}, false)
 	if err == nil || !strings.Contains(err.Error(), "cannot decode vet config") {
 		t.Fatalf("corrupt vet.cfg error = %v, want 'cannot decode vet config'", err)
 	}
@@ -59,7 +59,7 @@ func TestRunUnitCorruptConfig(t *testing.T) {
 
 func TestRunUnitEmptyPackage(t *testing.T) {
 	cfgFile := writeCfg(t, &unitConfig{ImportPath: "p"}, nil)
-	_, err := runUnit(cfgFile, nil, &bytes.Buffer{})
+	_, err := runUnit(cfgFile, nil, &bytes.Buffer{}, false)
 	if err == nil || !strings.Contains(err.Error(), "has no files") {
 		t.Fatalf("empty-package error = %v, want 'has no files'", err)
 	}
@@ -73,7 +73,7 @@ func TestRunUnitMissingExportData(t *testing.T) {
 		ImportPath: "p",
 		GoFiles:    []string{src},
 	}, nil)
-	_, err := runUnit(cfgFile, nil, &bytes.Buffer{})
+	_, err := runUnit(cfgFile, nil, &bytes.Buffer{}, false)
 	if err == nil || !strings.Contains(err.Error(), "no export data for \"fmt\"") {
 		t.Fatalf("missing-export-data error = %v, want 'no export data for \"fmt\"'", err)
 	}
@@ -90,7 +90,7 @@ func TestRunUnitPanickingAnalyzer(t *testing.T) {
 		Doc:  "panics",
 		Run:  func(*Pass) error { panic("kaboom") },
 	}
-	_, err := runUnit(cfgFile, []*Analyzer{boom}, &bytes.Buffer{})
+	_, err := runUnit(cfgFile, []*Analyzer{boom}, &bytes.Buffer{}, false)
 	if err == nil || !strings.Contains(err.Error(), "analyzer boom panicked: kaboom") {
 		t.Fatalf("panicking-analyzer error = %v, want 'analyzer boom panicked: kaboom'", err)
 	}
@@ -104,7 +104,7 @@ func TestRunUnitVetxOnlyWritesFacts(t *testing.T) {
 		VetxOnly:   true,
 		VetxOutput: vetx,
 	}, nil)
-	code, err := runUnit(cfgFile, nil, &bytes.Buffer{})
+	code, err := runUnit(cfgFile, nil, &bytes.Buffer{}, false)
 	if err != nil || code != 0 {
 		t.Fatalf("VetxOnly unit: code=%d err=%v", code, err)
 	}
@@ -132,7 +132,7 @@ func TestRunUnitReportsDiagnostics(t *testing.T) {
 		},
 	}
 	var stderr bytes.Buffer
-	code, err := runUnit(cfgFile, []*Analyzer{noisy}, &stderr)
+	code, err := runUnit(cfgFile, []*Analyzer{noisy}, &stderr, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,5 +144,51 @@ func TestRunUnitReportsDiagnostics(t *testing.T) {
 	}
 	if _, err := os.Stat(vetx); err != nil {
 		t.Fatalf("facts output not written on the findings path: %v", err)
+	}
+}
+
+func TestRunUnitJSONMode(t *testing.T) {
+	src := writeSrc(t, "p.go", "package p\n\nfunc F() {}\n")
+	cfgFile := writeCfg(t, &unitConfig{
+		ImportPath: "p",
+		GoFiles:    []string{src},
+	}, nil)
+	noisy := &Analyzer{
+		Name: "noisy",
+		Doc:  "flags every file",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				pass.Reportf(f.Package, "finding with \"quotes\"")
+			}
+			return nil
+		},
+	}
+	var out bytes.Buffer
+	code, err := runUnit(cfgFile, []*Analyzer{noisy}, &out, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d with findings, want 1", code)
+	}
+	line := strings.TrimSpace(out.String())
+	if strings.Contains(line, "\n") {
+		t.Fatalf("want exactly one JSON line, got:\n%s", out.String())
+	}
+	var rec struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, line)
+	}
+	if rec.File != src || rec.Line != 1 || rec.Analyzer != "noisy" {
+		t.Fatalf("JSON fields = %+v, want file=%s line=1 analyzer=noisy", rec, src)
+	}
+	if rec.Message != "finding with \"quotes\"" {
+		t.Fatalf("JSON message = %q: the analyzer prefix must be stripped and quoting exact", rec.Message)
 	}
 }

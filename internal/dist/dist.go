@@ -214,9 +214,11 @@ type NodeResult struct {
 // connTracker collects every live connection so cancellation can close
 // them all, unblocking any goroutine parked in a read or write.
 type connTracker struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	//aggvet:guard mu
 	closed bool
-	conns  []net.Conn
+	//aggvet:guard mu
+	conns []net.Conn
 }
 
 // add registers c, or closes it immediately if cancellation already ran.

@@ -128,10 +128,13 @@ type tpeer struct {
 	m       *metrics
 	down    atomic.Bool
 
-	mu   sync.Mutex
+	mu sync.Mutex
+	//aggvet:guard mu
 	conn net.Conn
-	w    *bufio.Writer
-	buf  []byte
+	//aggvet:guard mu
+	w *bufio.Writer
+	//aggvet:guard mu
+	buf []byte
 }
 
 func (p *tpeer) markDown() {
@@ -154,6 +157,10 @@ func (p *tpeer) install(conn net.Conn) {
 	p.down.Store(false)
 }
 
+// arm refreshes the write deadline on the held connection. Callers
+// hold p.mu: every write path locks before touching conn or w.
+//
+//aggvet:holds p.mu
 func (p *tpeer) arm() {
 	if p.timeout > 0 {
 		p.conn.SetWriteDeadline(time.Now().Add(p.timeout))
@@ -197,6 +204,10 @@ func (p *tpeer) tryControl(kind frameKind, origin, epoch int, aux uint32) (error
 	return p.controlLocked(kind, origin, epoch, aux), true
 }
 
+// controlLocked writes one control frame on the held connection; the
+// lock is the caller's (control takes it, tryControl TryLocks it).
+//
+//aggvet:holds p.mu
 func (p *tpeer) controlLocked(kind frameKind, origin, epoch int, aux uint32) error {
 	if p.down.Load() {
 		return errPeerDown

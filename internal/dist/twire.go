@@ -143,9 +143,11 @@ func writeTControl(w *bufio.Writer, kind frameKind, origin, epoch int, aux uint3
 
 // tRawFrameInto encodes a tagged raw frame into buf (growing it if
 // needed), with the same record-count bound as v1.
+//
+//aggvet:noalloc
 func tRawFrameInto(buf []byte, origin, epoch int, ts []tuple.Tuple) ([]byte, error) {
 	if len(ts) > maxFrameRecords {
-		return buf, fmt.Errorf("dist: raw frame of %d records exceeds the %d-record wire limit", len(ts), maxFrameRecords)
+		return buf, fmt.Errorf("dist: raw frame of %d records exceeds the %d-record wire limit", len(ts), maxFrameRecords) //aggvet:allow noalloc -- cold path: the oversized batch is refused, never encoded
 	}
 	buf = frameBuf(buf, tHeaderSize+len(ts)*tuple.RawSize)
 	putTHeader(buf, frameRaw, origin, epoch, 0, len(ts))
@@ -158,9 +160,11 @@ func tRawFrameInto(buf []byte, origin, epoch int, ts []tuple.Tuple) ([]byte, err
 }
 
 // tPartialFrameInto encodes a tagged partial frame, same contract.
+//
+//aggvet:noalloc
 func tPartialFrameInto(buf []byte, origin, epoch int, ps []tuple.Partial) ([]byte, error) {
 	if len(ps) > maxFrameRecords {
-		return buf, fmt.Errorf("dist: partial frame of %d records exceeds the %d-record wire limit", len(ps), maxFrameRecords)
+		return buf, fmt.Errorf("dist: partial frame of %d records exceeds the %d-record wire limit", len(ps), maxFrameRecords) //aggvet:allow noalloc -- cold path: the oversized batch is refused, never encoded
 	}
 	buf = frameBuf(buf, tHeaderSize+len(ps)*tuple.PartialSize)
 	putTHeader(buf, framePartial, origin, epoch, 0, len(ps))

@@ -82,7 +82,7 @@ func writeHeader(w io.Writer, kind frameKind, count int) error {
 // allocation per connection for every frame.
 func frameBuf(buf []byte, need int) []byte {
 	if cap(buf) < need {
-		return make([]byte, need)
+		return make([]byte, need) //aggvet:allow noalloc -- scratch-buffer growth; reallocates only until the per-connection buffer reaches frame size, absent from the steady state
 	}
 	return buf[:need]
 }
@@ -90,9 +90,11 @@ func frameBuf(buf []byte, need int) []byte {
 // rawFrameInto encodes a whole raw frame (header + records) into buf,
 // growing it if needed, and returns the encoded frame. It refuses a
 // batch larger than maxFrameRecords.
+//
+//aggvet:noalloc
 func rawFrameInto(buf []byte, ts []tuple.Tuple) ([]byte, error) {
 	if len(ts) > maxFrameRecords {
-		return buf, fmt.Errorf("dist: raw frame of %d records exceeds the %d-record wire limit", len(ts), maxFrameRecords)
+		return buf, fmt.Errorf("dist: raw frame of %d records exceeds the %d-record wire limit", len(ts), maxFrameRecords) //aggvet:allow noalloc -- cold path: the oversized batch is refused, never encoded
 	}
 	buf = frameBuf(buf, 5+len(ts)*tuple.RawSize)
 	buf[0] = byte(frameRaw)
@@ -107,9 +109,11 @@ func rawFrameInto(buf []byte, ts []tuple.Tuple) ([]byte, error) {
 
 // partialFrameInto encodes a whole partial frame into buf, with the same
 // contract as rawFrameInto.
+//
+//aggvet:noalloc
 func partialFrameInto(buf []byte, ps []tuple.Partial) ([]byte, error) {
 	if len(ps) > maxFrameRecords {
-		return buf, fmt.Errorf("dist: partial frame of %d records exceeds the %d-record wire limit", len(ps), maxFrameRecords)
+		return buf, fmt.Errorf("dist: partial frame of %d records exceeds the %d-record wire limit", len(ps), maxFrameRecords) //aggvet:allow noalloc -- cold path: the oversized batch is refused, never encoded
 	}
 	buf = frameBuf(buf, 5+len(ps)*tuple.PartialSize)
 	buf[0] = byte(framePartial)

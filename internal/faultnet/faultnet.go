@@ -214,13 +214,19 @@ func (c Config) validate() error {
 type Injector struct {
 	cfg Config
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	reads  int
+	mu sync.Mutex
+	//aggvet:guard mu
+	rng *rand.Rand
+	//aggvet:guard mu
+	reads int
+	//aggvet:guard mu
 	writes int
+	//aggvet:guard mu
 	killed bool
-	hung   bool
-	conns  []net.Conn // every wrapped conn, closed en masse on kill
+	//aggvet:guard mu
+	hung bool
+	//aggvet:guard mu
+	conns []net.Conn // every wrapped conn, closed en masse on kill
 }
 
 // New builds an injector for cfg.
@@ -390,8 +396,10 @@ type conn struct {
 	closeOnce sync.Once
 	closed    chan struct{}
 
-	dlMu          sync.Mutex
-	readDeadline  time.Time
+	dlMu sync.Mutex
+	//aggvet:guard dlMu
+	readDeadline time.Time
+	//aggvet:guard dlMu
 	writeDeadline time.Time
 }
 

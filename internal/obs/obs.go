@@ -174,7 +174,8 @@ type family struct {
 	labels []string
 	bounds []int64 // histograms only
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	//aggvet:guard mu
 	series map[string]*series
 }
 
@@ -229,7 +230,8 @@ func (f *family) sorted() []*series {
 // New. A nil *Registry is a valid "metrics disabled" registry: every
 // lookup returns nil instruments whose methods no-op.
 type Registry struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	//aggvet:guard mu
 	families map[string]*family
 }
 

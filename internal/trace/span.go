@@ -30,7 +30,8 @@ func (s Span) Duration() int64 { return s.End - s.Start }
 type Tracer struct {
 	clock func() int64
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	//aggvet:guard mu
 	spans []Span
 }
 

@@ -40,11 +40,15 @@ type AggState struct {
 
 // NewState returns the aggregate state of a group containing exactly one
 // raw value.
+//
+//aggvet:noalloc
 func NewState(v int64) AggState {
 	return AggState{Count: 1, Sum: v, SumSq: v * v, Min: v, Max: v}
 }
 
 // Update folds one more raw value into the state.
+//
+//aggvet:noalloc
 func (s *AggState) Update(v int64) {
 	s.Count++
 	s.Sum += v
@@ -60,6 +64,8 @@ func (s *AggState) Update(v int64) {
 // Merge folds another partial state for the same group into s. Merge is
 // associative and commutative, which is what makes two-phase aggregation
 // correct.
+//
+//aggvet:noalloc
 func (s *AggState) Merge(o AggState) {
 	s.Count += o.Count
 	s.Sum += o.Sum
@@ -118,6 +124,8 @@ func hash64(x uint64) uint64 {
 }
 
 // Hash returns a well-mixed 64-bit hash of the key.
+//
+//aggvet:noalloc
 func (k Key) Hash() uint64 { return hash64(uint64(k)) }
 
 // Dest returns the node (0..n-1) responsible for this key under hash
@@ -132,6 +140,8 @@ func (k Key) Dest(n int) int {
 // Bucket returns the overflow bucket (0..n-1) for this key. It uses the
 // high bits of the hash so that bucket membership is independent of the
 // destination node computed by Dest.
+//
+//aggvet:noalloc
 func (k Key) Bucket(n int) int {
 	if n <= 0 {
 		panic("tuple: Bucket with non-positive bucket count")
@@ -158,12 +168,16 @@ const (
 )
 
 // EncodeRaw writes the 16-byte wire form of t into b, which must have room.
+//
+//aggvet:noalloc
 func EncodeRaw(b []byte, t Tuple) {
 	binary.LittleEndian.PutUint64(b[0:8], uint64(t.Key))
 	binary.LittleEndian.PutUint64(b[8:16], uint64(t.Val))
 }
 
 // DecodeRaw reads the 16-byte wire form from b.
+//
+//aggvet:noalloc
 func DecodeRaw(b []byte) Tuple {
 	return Tuple{
 		Key: Key(binary.LittleEndian.Uint64(b[0:8])),
@@ -172,6 +186,8 @@ func DecodeRaw(b []byte) Tuple {
 }
 
 // EncodePartial writes the 48-byte wire form of p into b.
+//
+//aggvet:noalloc
 func EncodePartial(b []byte, p Partial) {
 	binary.LittleEndian.PutUint64(b[0:8], uint64(p.Key))
 	binary.LittleEndian.PutUint64(b[8:16], uint64(p.State.Count))
@@ -182,6 +198,8 @@ func EncodePartial(b []byte, p Partial) {
 }
 
 // DecodePartial reads the 48-byte wire form from b.
+//
+//aggvet:noalloc
 func DecodePartial(b []byte) Partial {
 	return Partial{
 		Key: Key(binary.LittleEndian.Uint64(b[0:8])),

@@ -12,7 +12,7 @@ set -u
 
 GO="${GO:-go}"
 AGGVET="${AGGVET:-bin/aggvet}"
-ANALYZERS="simclock seededrand netdeadline donesend maporder floatdet resleak pooluse loopown framecase"
+ANALYZERS="simclock seededrand netdeadline donesend maporder floatdet resleak pooluse loopown framecase lockcheck lockguard noalloc"
 
 if ! "$GO" build -o "$AGGVET" ./cmd/aggvet; then
     echo "lint: building aggvet failed" >&2
@@ -64,6 +64,18 @@ fi
 # directive don't false-positive the way a grep would.
 if ! "$AGGVET" -allows .; then
     echo "lint: //aggvet:allow inventory failed — every allow needs a \"-- rationale\"" >&2
+    exit 1
+fi
+
+# Static zero-alloc gate: the exact functions whose allocation behavior
+# the runtime AllocsPin tests pin must carry //aggvet:noalloc, so that
+# dropping an annotation (silently shrinking static coverage) fails
+# lint, not just review. The noalloc analyzer above already verified
+# the annotated bodies; this step verifies the annotations exist.
+if ! "$AGGVET" -require-noalloc \
+    internal/aggtable:UpdateRaw,MergePartial \
+    internal/dist:rawFrameInto,partialFrameInto,tRawFrameInto,tPartialFrameInto; then
+    echo "lint: -require-noalloc gate failed — a pinned hot-path function lost its //aggvet:noalloc annotation" >&2
     exit 1
 fi
 echo "lint: clean"
