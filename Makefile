@@ -38,6 +38,8 @@ chaos:
 fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeFrame' -fuzztime 15s ./internal/dist/
 	$(GO) test -run '^$$' -fuzz 'FuzzParseSpec' -fuzztime 15s ./internal/faultnet/
+	$(GO) test -run '^$$' -fuzz 'FuzzInsertMergeDrain' -fuzztime 15s ./internal/aggtable/
+	$(GO) test -run '^$$' -fuzz 'FuzzConcurrentInsertMerge' -fuzztime 15s ./internal/aggtable/
 
 # Statement-coverage ratchet against scripts/coverage-floor.txt.
 cover:
@@ -55,3 +57,4 @@ bench:
 bench-json:
 	GO="$(GO)" sh scripts/bench-json.sh
 	$(GO) run ./cmd/aggbench -microbench -out BENCH_pr5.json
+	$(GO) run ./cmd/aggbench -sharedbench -out BENCH_pr9.json

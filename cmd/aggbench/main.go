@@ -31,11 +31,24 @@ func main() {
 		record     = flag.String("record", "", "also write all output as markdown to this file")
 		micro      = flag.Bool("microbench", false, "run the data-plane microbenchmarks (aggtable vs builtin map) instead of the figures")
 		microOut   = flag.String("out", "BENCH_pr5.json", "microbenchmark JSON output file")
+		shared     = flag.Bool("sharedbench", false, "run the shared-vs-partitioned sweep (Shared/A-Shared vs 2P/Rep/A-2P) instead of the figures")
+		procs      = flag.String("procs", "2,4,8", "GOMAXPROCS legs of the -sharedbench sweep, comma-separated")
 	)
 	flag.Parse()
 
 	if *micro {
 		if err := runMicrobench(*microOut); err != nil {
+			fmt.Fprintf(os.Stderr, "aggbench: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if *shared {
+		out := *microOut
+		if out == "BENCH_pr5.json" {
+			out = "BENCH_pr9.json"
+		}
+		if err := runSharedBench(out, *procs); err != nil {
 			fmt.Fprintf(os.Stderr, "aggbench: %v\n", err)
 			os.Exit(2)
 		}

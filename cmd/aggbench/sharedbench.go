@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"parallelagg/live"
+)
+
+// The -sharedbench mode stages the 1995-vs-2025 contest: the paper's
+// partitioned algorithms (2P, Rep, A-2P) against the shared concurrent
+// table (Shared, A-Shared) on identical workloads, swept across
+// selectivities AND core counts. GOMAXPROCS is set to the worker count
+// for each leg so the scheduler sees the same parallelism a machine of
+// that size would, then restored. The records land in BENCH_pr9.json;
+// EXPERIMENTS.md reads the verdict off this file.
+
+// sharedAlgorithms is the contest lineup. A-Rep is omitted: its fallback
+// target is A-2P, which is already in the lineup, so it adds a row
+// without adding a strategy.
+var sharedAlgorithms = []live.Algorithm{
+	live.TwoPhase, live.Repartitioning, live.AdaptiveTwoPhase,
+	live.Shared, live.AdaptiveShared,
+}
+
+// parseProcs turns "2,4,8" into core counts for the sweep.
+func parseProcs(spec string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -procs entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runSharedBench executes the sweep and writes the JSON file.
+func runSharedBench(out, procsSpec string) error {
+	procsList, err := parseProcs(procsSpec)
+	if err != nil {
+		return err
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var recs []benchRecord
+	for _, procs := range procsList {
+		runtime.GOMAXPROCS(procs)
+		for _, sel := range microSelectivities {
+			in, groups := benchInput(sel)
+			for _, alg := range sharedAlgorithms {
+				fmt.Fprintf(os.Stderr, "sharedbench: procs=%d sel=%g alg=%v\n", procs, sel, alg)
+				res := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						r, err := live.Aggregate(live.Config{Workers: procs}, in, alg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if len(r.Groups) != groups {
+							b.Fatalf("%v: got %d groups, want %d", alg, len(r.Groups), groups)
+						}
+					}
+				})
+				rec := record("shared-live", "aggtable", alg.String(), sel, benchRows, groups, procs, res)
+				rec.Procs = procs
+				recs = append(recs, rec)
+			}
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sharedbench: wrote %d records to %s\n", len(recs), out)
+	return summarizeShared(os.Stdout, recs)
+}
+
+// summarizeShared prints, per (procs, selectivity), every algorithm's
+// throughput and its ratio to the 2P baseline — the table the
+// EXPERIMENTS.md verdict quotes.
+func summarizeShared(w *os.File, recs []benchRecord) error {
+	type key struct {
+		procs int
+		sel   float64
+	}
+	base := map[key]benchRecord{}
+	for _, r := range recs {
+		if r.Algorithm == "2P" {
+			base[key{r.Procs, r.Selectivity}] = r
+		}
+	}
+	fmt.Fprintf(w, "%-6s %-6s %-9s %13s %10s %8s\n",
+		"procs", "sel", "alg", "rows/s", "vs 2P", "allocs")
+	for _, r := range recs {
+		b, ok := base[key{r.Procs, r.Selectivity}]
+		ratio := 0.0
+		if ok && b.RowsPerSec > 0 {
+			ratio = float64(r.RowsPerSec) / float64(b.RowsPerSec)
+		}
+		fmt.Fprintf(w, "%-6d %-6g %-9s %13d %9.2fx %8d\n",
+			r.Procs, r.Selectivity, r.Algorithm, r.RowsPerSec, ratio, r.AllocsPerOp)
+	}
+	return nil
+}

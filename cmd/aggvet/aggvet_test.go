@@ -450,6 +450,63 @@ func g() {
 	})
 }
 
+// TestRequireNoallocMode drives `aggvet -require-noalloc`: the gate
+// must accept receiver-qualified pins, reject bare names shared by two
+// types, and hold on the repo's real hot-path pins (the same specs
+// scripts/lint.sh passes).
+func TestRequireNoallocMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the built tool")
+	}
+	tool := buildTool(t)
+
+	const twoTypes = `package p
+
+type A struct{}
+type B struct{}
+
+//aggvet:noalloc
+func (*A) Step() {}
+
+func (B) Step() {}
+`
+
+	t.Run("qualified pin passes, bare is ambiguous", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(twoTypes), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		out, err := exec.Command(tool, "-require-noalloc", dir+":A.Step").CombinedOutput()
+		if err != nil {
+			t.Fatalf("-require-noalloc rejected a qualified annotated method: %v\n%s", err, out)
+		}
+		out, err = exec.Command(tool, "-require-noalloc", dir+":Step").CombinedOutput()
+		if err == nil {
+			t.Fatalf("-require-noalloc accepted an ambiguous bare pin; output:\n%s", out)
+		}
+		if !strings.Contains(string(out), "qualify it as Type.Step") {
+			t.Fatalf("ambiguity marker missing from output:\n%s", out)
+		}
+		out, err = exec.Command(tool, "-require-noalloc", dir+":B.Step").CombinedOutput()
+		if err == nil {
+			t.Fatalf("-require-noalloc accepted an unannotated method; output:\n%s", out)
+		}
+	})
+
+	t.Run("repo hot-path pins hold", func(t *testing.T) {
+		repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(tool, "-require-noalloc",
+			"internal/aggtable:Table.UpdateRaw,Table.MergePartial,Shared.UpdateRaw,Shared.UpdateRawContended,Shared.MergePartial")
+		cmd.Dir = repoRoot
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("repo pins failed — a hot-path //aggvet:noalloc annotation is gone: %v\n%s", err, out)
+		}
+	})
+}
+
 // TestHandshake verifies the two build-system handshake invocations the
 // go command performs before any analysis: -V=full and -flags.
 func TestHandshake(t *testing.T) {

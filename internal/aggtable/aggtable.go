@@ -241,8 +241,14 @@ func (t *Table) Partials() []tuple.Partial {
 		}
 		out = append(out, tuple.Partial{Key: t.keys[i], State: t.states[i]})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	sortPartials(out)
 	return out
+}
+
+// sortPartials orders partials by ascending key, the deterministic output
+// order every drain-like operation promises.
+func sortPartials(ps []tuple.Partial) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Key < ps[j].Key })
 }
 
 // Drain returns the table contents like Partials and empties the table,

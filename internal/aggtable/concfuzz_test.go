@@ -1,0 +1,141 @@
+package aggtable
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"parallelagg/internal/tuple"
+)
+
+// FuzzConcurrentInsertMerge fuzzes the concurrent table the way the
+// torture suite does, but with the schedule — goroutine count, bound
+// regime, per-goroutine op streams, mid-stream drain points — decoded
+// from the fuzz input instead of a seeded RNG. The first byte picks the
+// goroutine count (2..8), the input length picks the bound regime, and
+// the rest is the 9-byte [op][8-byte arg] record stream of
+// FuzzInsertMergeDrain, dealt round-robin to the goroutines.
+//
+// The oracle invariant is interleaving-independent: every operation
+// lands in exactly one of (a mid-stream drain snapshot, the final drain,
+// the caller's refusal list), so folding their union into a fresh
+// sequential table must reproduce the oracle byte for byte. Run under
+// -race this doubles as a schedule-driven race hunt; the seed corpus is
+// checked in under testdata/fuzz/FuzzConcurrentInsertMerge.
+func FuzzConcurrentInsertMerge(f *testing.F) {
+	// Seeds: trivial, single-goroutine-worth of records, a mid-stream
+	// drain, a bounded-refusal regime, and an 8-goroutine mix.
+	f.Add([]byte{})
+	f.Add(seq([]byte{2}, op(0, 7), op(0, 7), op(1, 9)))
+	f.Add(seq([]byte{3}, op(0, 1), op(1, 2), op(2, 0), op(0, 1), op(3, 4)))
+	f.Add(seq([]byte{7}, op(0, 10), op(1, 20), op(0, 30), op(2, 0), op(1, 10), op(3, 40), op(0, 50), op(1, 60)))
+	f.Add(seq([]byte{8}, op(0, 1), op(0, 2), op(0, 3), op(0, 4), op(1, 5), op(1, 6), op(3, 7), op(2, 8)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<14 {
+			return // bound the per-input work: goroutines are spawned per exec
+		}
+		goroutines := 2
+		if len(data) > 0 {
+			goroutines = 2 + int(data[0])%7 // 2..8
+			data = data[1:]
+		}
+		// Bound regime from the record count: unbounded, bounded-covering
+		// (reservation path, refusal impossible), or bounded-tight
+		// (refusals expected and accounted).
+		const keySpace = 256
+		bound := 0
+		switch (len(data) / 9) % 3 {
+		case 1:
+			bound = keySpace
+		case 2:
+			bound = 16
+		}
+
+		// Deal the records round-robin and build the oracle sequentially.
+		oracle := New(0)
+		scheds := make([][]tortureOp, goroutines)
+		drainAt := make([]int, goroutines) // op index per goroutine, -1 = never
+		for g := range drainAt {
+			drainAt[g] = -1
+		}
+		g := 0
+		for len(data) >= 9 {
+			code, arg := data[0], int64(binary.LittleEndian.Uint64(data[1:9]))
+			data = data[9:]
+			k := tuple.Key(arg % keySpace)
+			switch code % 4 {
+			case 0, 3:
+				op := tortureOp{t: tuple.Tuple{Key: k, Val: arg % 1000}}
+				oracle.UpdateRaw(op.t)
+				scheds[g] = append(scheds[g], op)
+			case 1:
+				op := tortureOp{merge: true, p: tuple.Partial{Key: k, State: tuple.NewState(arg % 1000)}}
+				oracle.MergePartial(op.p)
+				scheds[g] = append(scheds[g], op)
+			case 2:
+				drainAt[g] = len(scheds[g]) // drain before the next record
+			}
+			g = (g + 1) % goroutines
+		}
+
+		sh := NewShared(bound, 8)
+		var mu sync.Mutex
+		var snapshots [][]tuple.Partial
+		refused := make([][]tuple.Partial, goroutines)
+		var wg sync.WaitGroup
+		wg.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			g := g
+			go func() {
+				defer wg.Done()
+				for i, op := range scheds[g] {
+					if drainAt[g] == i {
+						d := sh.Drain()
+						mu.Lock()
+						snapshots = append(snapshots, d)
+						mu.Unlock()
+					}
+					var ok bool
+					if op.merge {
+						ok = sh.MergePartial(op.p)
+					} else {
+						ok = sh.UpdateRaw(op.t)
+					}
+					if !ok {
+						if bound == 0 || bound >= keySpace {
+							t.Errorf("goroutine %d op %d refused on an unrefusable schedule", g, i)
+							return
+						}
+						pt := op.p
+						if !op.merge {
+							pt = tuple.Partial{Key: op.t.Key, State: tuple.NewState(op.t.Val)}
+						}
+						refused[g] = append(refused[g], pt)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+
+		final := sh.Drain()
+		checkAscending(t, "final drain", final)
+		for _, d := range snapshots {
+			checkAscending(t, "mid-stream drain", d)
+		}
+		if sh.Len() != 0 {
+			t.Fatalf("Len = %d after final drain", sh.Len())
+		}
+		union := append(snapshots, refused...)
+		got := foldUnion(union, final)
+		want := oracle.Partials()
+		if len(got) != len(want) {
+			t.Fatalf("drains∪refusals has %d groups, oracle %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("group %d = %+v, oracle %+v", i, got[i], want[i])
+			}
+		}
+	})
+}

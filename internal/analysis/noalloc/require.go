@@ -24,7 +24,11 @@ import (
 //	<dir>:<Func>[,<Func>...]
 //
 // asserting that every named function declared in the package directory
-// carries the //aggvet:noalloc annotation. It prints one line per
+// carries the //aggvet:noalloc annotation. A name may be receiver-
+// qualified — Table.UpdateRaw pins the method on that type only — and
+// MUST be once two types declare the same method name: a bare name
+// matching several functions is rejected as ambiguous rather than
+// letting any one annotation satisfy all pins. It prints one line per
 // verified function to w and returns an error naming every function
 // that is missing, unannotated, or ambiguous.
 func Require(w io.Writer, specs ...string) error {
@@ -46,9 +50,12 @@ func Require(w io.Writer, specs ...string) error {
 			switch {
 			case name == "":
 				return fmt.Errorf("malformed spec %q: empty function name", spec)
-			case annotated[name]:
+			case !strings.Contains(name, ".") && declared[name] > 1:
+				failures = append(failures, fmt.Sprintf(
+					"%s: %s names %d functions — qualify it as Type.%s", dir, name, declared[name], name))
+			case annotated[name] > 0:
 				fmt.Fprintf(w, "%s: %s is //aggvet:noalloc\n", dir, name)
-			case declared[name]:
+			case declared[name] > 0:
 				failures = append(failures, fmt.Sprintf("%s: %s has no //aggvet:noalloc annotation", dir, name))
 			default:
 				failures = append(failures, fmt.Sprintf("%s: no function named %s", dir, name))
@@ -62,10 +69,12 @@ func Require(w io.Writer, specs ...string) error {
 	return nil
 }
 
-// scanDir parses the package directory (tests excluded) and returns the
-// sets of annotated and declared function names. Methods count by their
-// bare name: the pins name functions uniquely within their package.
-func scanDir(dir string) (annotated, declared map[string]bool, err error) {
+// scanDir parses the package directory (tests excluded) and returns how
+// many functions declare (and annotate) each name. Every method is
+// recorded under both its bare name and its receiver-qualified
+// Type.Method name; Require uses the bare-name count to detect
+// ambiguous pins.
+func scanDir(dir string) (annotated, declared map[string]int, err error) {
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
 		return !strings.HasSuffix(fi.Name(), "_test.go")
@@ -73,8 +82,8 @@ func scanDir(dir string) (annotated, declared map[string]bool, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	annotated = map[string]bool{}
-	declared = map[string]bool{}
+	annotated = map[string]int{}
+	declared = map[string]int{}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, d := range f.Decls {
@@ -82,12 +91,42 @@ func scanDir(dir string) (annotated, declared map[string]bool, err error) {
 				if !ok {
 					continue
 				}
-				declared[decl.Name.Name] = true
-				if isAnnotated(decl) {
-					annotated[decl.Name.Name] = true
+				names := []string{decl.Name.Name}
+				if recv := recvTypeName(decl); recv != "" {
+					names = append(names, recv+"."+decl.Name.Name)
+				}
+				for _, n := range names {
+					declared[n]++
+					if isAnnotated(decl) {
+						annotated[n]++
+					}
 				}
 			}
 		}
 	}
 	return annotated, declared, nil
+}
+
+// recvTypeName returns the bare receiver type name of a method ("" for
+// plain functions), unwrapping pointers and type-parameter brackets so
+// (*Shared) and (*Tree[K]) pin as Shared and Tree.
+func recvTypeName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return ""
+	}
+	t := decl.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
 }

@@ -65,6 +65,50 @@ func TestRequireTestFilesExcluded(t *testing.T) {
 	}
 }
 
+const methodSrc = `package p
+
+type A struct{}
+type B struct{}
+
+//aggvet:noalloc
+func (*A) Step() {}
+
+func (B) Step() {}
+
+//aggvet:noalloc
+func (a *A) Solo() {}
+`
+
+func TestRequireQualifiedMethod(t *testing.T) {
+	dir := writePkg(t, methodSrc)
+	var out bytes.Buffer
+	if err := Require(&out, dir+":A.Step,A.Solo"); err != nil {
+		t.Fatalf("Require on annotated methods: %v", err)
+	}
+	err := Require(&bytes.Buffer{}, dir+":B.Step")
+	if err == nil || !strings.Contains(err.Error(), "B.Step has no //aggvet:noalloc annotation") {
+		t.Fatalf("Require(B.Step) = %v, want missing-annotation error", err)
+	}
+	err = Require(&bytes.Buffer{}, dir+":C.Step")
+	if err == nil || !strings.Contains(err.Error(), "no function named C.Step") {
+		t.Fatalf("Require(C.Step) = %v, want unknown-function error", err)
+	}
+}
+
+func TestRequireAmbiguousBareName(t *testing.T) {
+	dir := writePkg(t, methodSrc)
+	// Two types declare Step; a bare pin must be rejected even though
+	// one of them IS annotated — otherwise the un-annotated one hides.
+	err := Require(&bytes.Buffer{}, dir+":Step")
+	if err == nil || !strings.Contains(err.Error(), "qualify it as Type.Step") {
+		t.Fatalf("Require(Step) = %v, want ambiguity error", err)
+	}
+	// A unique bare method name keeps working unqualified.
+	if err := Require(&bytes.Buffer{}, dir+":Solo"); err != nil {
+		t.Fatalf("Require(Solo) on unique method: %v", err)
+	}
+}
+
 func TestRequireMalformedSpec(t *testing.T) {
 	for _, spec := range []string{"nodirsep", ":Hot", "dir:", "dir:Hot,,"} {
 		if err := Require(&bytes.Buffer{}, spec); err == nil {

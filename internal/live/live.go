@@ -58,6 +58,22 @@ const (
 	// too few distinct groups in its first InitSeg tuples raises a shared
 	// flag and every worker falls back to the AdaptiveTwoPhase strategy.
 	AdaptiveRepartitioning
+	// Shared: every worker folds its partition directly into ONE striped
+	// concurrent table (internal/aggtable.Shared); there is no exchange,
+	// and the merge phase is a single drain. This is the 2025 counterpoint
+	// to the paper's partitioned designs ("Global Hash Tables Strike
+	// Back!"): no second phase, no partial traffic, at the price of lock
+	// traffic on hot stripes. The TableEntries budget is global —
+	// TableEntries×Workers entries, the same total memory as the
+	// partitioned algorithms.
+	Shared
+	// AdaptiveShared: start as Shared; a worker that sees the shared
+	// table refuse a tuple (bound pressure) or more than SwitchRatio of
+	// its last InitSeg folds contend on a stripe lock raises a flag and
+	// every worker falls back to the AdaptiveTwoPhase strategy for the
+	// rest of its partition. The pre-switch shared contents are drained
+	// once at the end and merged with the exchanged results.
+	AdaptiveShared
 )
 
 // String returns the paper's abbreviation.
@@ -71,6 +87,10 @@ func (a Algorithm) String() string {
 		return "A-2P"
 	case AdaptiveRepartitioning:
 		return "A-Rep"
+	case Shared:
+		return "Shared"
+	case AdaptiveShared:
+		return "A-Shared"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -78,7 +98,7 @@ func (a Algorithm) String() string {
 
 // Algorithms lists the implemented strategies.
 func Algorithms() []Algorithm {
-	return []Algorithm{TwoPhase, Repartitioning, AdaptiveTwoPhase, AdaptiveRepartitioning}
+	return []Algorithm{TwoPhase, Repartitioning, AdaptiveTwoPhase, AdaptiveRepartitioning, Shared, AdaptiveShared}
 }
 
 // Config tunes the engine. The zero value is usable: GOMAXPROCS workers,
@@ -99,8 +119,17 @@ type Config struct {
 
 	// InitSeg and SwitchRatio drive AdaptiveRepartitioning's fallback,
 	// with the same meaning as core.Options. Defaults: 4096 and 0.1.
+	// AdaptiveShared reuses them as its contention window: a worker that
+	// sees more than SwitchRatio×InitSeg contended folds among InitSeg
+	// consecutive shared-table updates falls back to two-phase.
 	InitSeg     int
 	SwitchRatio float64
+
+	// SharedStripes is the stripe count of the Shared/AdaptiveShared
+	// concurrent table (rounded up to a power of two; 0 picks the
+	// aggtable default). More stripes mean fewer lock collisions and a
+	// bigger drained-table footprint.
+	SharedStripes int
 
 	// SpillToDisk spools TwoPhase overflow to real temporary files instead
 	// of an in-memory buffer, making the TableEntries bound a true memory
@@ -245,9 +274,21 @@ func AggregatePartitioned(cfg Config, parts [][]tuple.Tuple, alg Algorithm) (*Re
 	}
 	cfg.Workers = w
 	switch alg {
-	case TwoPhase, Repartitioning, AdaptiveTwoPhase, AdaptiveRepartitioning:
+	case TwoPhase, Repartitioning, AdaptiveTwoPhase, AdaptiveRepartitioning, Shared, AdaptiveShared:
 	default:
 		return nil, fmt.Errorf("live: unknown algorithm %v", alg)
+	}
+
+	// The shared algorithms fold into one concurrent table. Its bound is
+	// the global equivalent of the per-worker budget: TableEntries
+	// entries per worker, pooled.
+	var shared *aggtable.Shared
+	if alg == Shared || alg == AdaptiveShared {
+		bound := 0
+		if cfg.TableEntries > 0 {
+			bound = cfg.TableEntries * w
+		}
+		shared = aggtable.NewShared(bound, cfg.SharedStripes)
 	}
 
 	// Inbox capacity 2*w: every scan side can have one in-flight batch
@@ -282,10 +323,13 @@ func AggregatePartitioned(cfg Config, parts [][]tuple.Tuple, alg Algorithm) (*Re
 
 	start := time.Now()
 	var all sync.WaitGroup
+	workers := make([]*worker, w)
 	for i := 0; i < w; i++ {
 		i := i
 		wk := &worker{id: i, cfg: cfg, alg: alg, inboxes: inboxes,
-			fallback: &fallback, m: &metrics[i], pools: pools, newTable: newTable}
+			fallback: &fallback, m: &metrics[i], pools: pools, newTable: newTable,
+			shared: shared}
+		workers[i] = wk
 		all.Add(2)
 		go func() {
 			defer all.Done()
@@ -323,6 +367,23 @@ func AggregatePartitioned(cfg Config, parts [][]tuple.Tuple, alg Algorithm) (*Re
 			merged[pt.Key] = pt.State
 		}
 	}
+	if shared != nil {
+		// The merge phase of the shared algorithms: one drain. Keys can
+		// legitimately coexist with exchanged results (A-Shared groups
+		// split across the pre- and post-switch phases) and with the
+		// per-worker overflow tables plain Shared falls back to at its
+		// bound, so these fold with Merge instead of the duplicate check.
+		for _, pt := range shared.Drain() {
+			mergeGroup(merged, pt)
+		}
+		for _, wk := range workers {
+			if wk.sharedOv != nil {
+				for _, pt := range wk.sharedOv.Drain() {
+					mergeGroup(merged, pt)
+				}
+			}
+		}
+	}
 	res := &Result{Groups: merged, PerWorker: metrics}
 	for i, sw := range switched {
 		if sw {
@@ -332,6 +393,16 @@ func AggregatePartitioned(cfg Config, parts [][]tuple.Tuple, alg Algorithm) (*Re
 	}
 	publishObs(cfg.Obs, metrics, elapsed)
 	return res, nil
+}
+
+// mergeGroup folds one partial into the final result map.
+func mergeGroup(m map[tuple.Key]tuple.AggState, pt tuple.Partial) {
+	if s, ok := m[pt.Key]; ok {
+		s.Merge(pt.State)
+		m[pt.Key] = s
+		return
+	}
+	m[pt.Key] = pt.State
 }
 
 // partition slices tuples into w near-equal contiguous parts.
@@ -362,6 +433,18 @@ type worker struct {
 	pools    *exchangePools
 	newTable func(bound int) groupTable
 
+	// shared is the one concurrent table every worker folds into under
+	// the Shared/AdaptiveShared algorithms (nil otherwise). sharedOv is
+	// this worker's private overflow table for tuples plain Shared could
+	// not absorb at the bound; the scan side fills it, the coordinator
+	// drains it after every worker has finished.
+	shared   *aggtable.Shared
+	sharedOv *aggtable.Table
+
+	// Contention-window accounting for AdaptiveShared, scan-side only.
+	sharedSeen      int
+	sharedContended int
+
 	// Pending outbound batches, owned by the scan goroutine: the merge
 	// side must never touch them (it receives full batches over the
 	// inbox channels instead).
@@ -377,6 +460,7 @@ type workerMode int
 const (
 	modeLocal workerMode = iota
 	modeRoute
+	modeShared
 )
 
 // noteOcc records the table's high-water occupancy for the obs layer.
@@ -399,8 +483,11 @@ func (wk *worker) scanSide(part []tuple.Tuple) (switchedOut bool, err error) {
 	bound := wk.cfg.TableEntries
 	local := wk.newTable(bound)
 	mode := modeLocal
-	if wk.alg == Repartitioning || wk.alg == AdaptiveRepartitioning {
+	switch wk.alg {
+	case Repartitioning, AdaptiveRepartitioning:
 		mode = modeRoute
+	case Shared, AdaptiveShared:
+		mode = modeShared
 	}
 	switched := false
 	var spill spillStore // plain 2P's overflow buffer (memory or real disk)
@@ -421,6 +508,16 @@ func (wk *worker) scanSide(part []tuple.Tuple) (switchedOut bool, err error) {
 
 	wk.m.Scanned = int64(len(part))
 	for _, t := range part {
+		if mode == modeShared {
+			if wk.sharedStep(t) {
+				continue
+			}
+			// Not absorbed: AdaptiveShared is falling back. From here
+			// this worker runs the AdaptiveTwoPhase strategy, starting
+			// with this very tuple.
+			mode = modeLocal
+			switched = true
+		}
 		if mode == modeRoute && wk.alg == AdaptiveRepartitioning {
 			if wk.fallback.Load() {
 				// Another worker (or this one) declared end-of-phase.
@@ -449,7 +546,7 @@ func (wk *worker) scanSide(part []tuple.Tuple) (switchedOut bool, err error) {
 			}
 			// Local table is full and this tuple starts a new group.
 			switch wk.alg {
-			case AdaptiveTwoPhase, AdaptiveRepartitioning:
+			case AdaptiveTwoPhase, AdaptiveRepartitioning, AdaptiveShared:
 				// Flush the accumulated partials, free the memory,
 				// repartition from here on — the A-2P switch.
 				wk.noteOcc(local)
@@ -476,6 +573,9 @@ func (wk *worker) scanSide(part []tuple.Tuple) (switchedOut bool, err error) {
 
 	// Drain the local table, then process the spill in bounded passes,
 	// exactly like the overflow-bucket loop of the paper.
+	if wk.shared != nil {
+		wk.noteOcc(wk.shared)
+	}
 	wk.noteOcc(local)
 	wk.flushPartials(local.Drain())
 	for spill != nil && spill.len() > 0 {
@@ -507,6 +607,53 @@ func (wk *worker) scanSide(part []tuple.Tuple) (switchedOut bool, err error) {
 	}
 	wk.flushAll()
 	return switched, nil
+}
+
+// sharedStep folds one tuple into the shared concurrent table. It
+// returns false when the tuple was NOT absorbed and the worker must fall
+// back to partitioned aggregation (AdaptiveShared only): either another
+// worker raised the fallback flag, or this fold was refused at the
+// table's global bound. Plain Shared never falls back — refused tuples
+// go to a worker-private unbounded overflow table, the live equivalent
+// of the paper's spill pass, and the coordinator merges it at the end.
+func (wk *worker) sharedStep(t tuple.Tuple) bool {
+	if wk.alg == Shared {
+		if wk.shared.UpdateRaw(t) {
+			return true
+		}
+		wk.m.Spilled++
+		if wk.sharedOv == nil {
+			wk.sharedOv = aggtable.New(0)
+		}
+		wk.sharedOv.UpdateRaw(t)
+		return true
+	}
+	if wk.fallback.Load() {
+		return false
+	}
+	ok, contended := wk.shared.UpdateRawContended(t)
+	if !ok {
+		// Bound pressure: declare end-of-phase for every worker.
+		wk.fallback.Store(true)
+		return false
+	}
+	wk.sharedSeen++
+	if contended {
+		wk.sharedContended++
+	}
+	if wk.sharedSeen >= wk.cfg.InitSeg {
+		if wk.sharedContentionHigh() {
+			wk.fallback.Store(true)
+		}
+		wk.sharedSeen, wk.sharedContended = 0, 0
+	}
+	return true
+}
+
+// sharedContentionHigh is AdaptiveShared's switch predicate: more than
+// SwitchRatio of the window's folds hit a held stripe lock.
+func (wk *worker) sharedContentionHigh() bool {
+	return float64(wk.sharedContended) > wk.cfg.SwitchRatio*float64(wk.sharedSeen)
 }
 
 // mergeSide folds everything routed to this worker into its final groups,

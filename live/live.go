@@ -34,6 +34,8 @@ const (
 	Repartitioning         = live.Repartitioning
 	AdaptiveTwoPhase       = live.AdaptiveTwoPhase
 	AdaptiveRepartitioning = live.AdaptiveRepartitioning
+	Shared                 = live.Shared
+	AdaptiveShared         = live.AdaptiveShared
 )
 
 // Algorithms lists the implemented strategies.

@@ -73,7 +73,7 @@ fi
 # lint, not just review. The noalloc analyzer above already verified
 # the annotated bodies; this step verifies the annotations exist.
 if ! "$AGGVET" -require-noalloc \
-    internal/aggtable:UpdateRaw,MergePartial \
+    internal/aggtable:Table.UpdateRaw,Table.MergePartial,Shared.UpdateRaw,Shared.UpdateRawContended,Shared.MergePartial \
     internal/dist:rawFrameInto,partialFrameInto,tRawFrameInto,tPartialFrameInto; then
     echo "lint: -require-noalloc gate failed — a pinned hot-path function lost its //aggvet:noalloc annotation" >&2
     exit 1
