@@ -40,6 +40,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzParseSpec' -fuzztime 15s ./internal/faultnet/
 	$(GO) test -run '^$$' -fuzz 'FuzzInsertMergeDrain' -fuzztime 15s ./internal/aggtable/
 	$(GO) test -run '^$$' -fuzz 'FuzzConcurrentInsertMerge' -fuzztime 15s ./internal/aggtable/
+	$(GO) test -run '^$$' -fuzz 'FuzzBatchUpdate' -fuzztime 15s ./internal/aggtable/
 
 # Statement-coverage ratchet against scripts/coverage-floor.txt.
 cover:

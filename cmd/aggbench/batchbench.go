@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"parallelagg/live"
+)
+
+// The -batchbench mode measures the columnar batch data plane against
+// the per-tuple scalar baseline it replaced: identical workloads,
+// identical algorithms, the only difference is Config.ScalarPath. The
+// sweep crosses selectivity × batch size × algorithm; every cell's
+// batch/scalar rows-per-second ratio is the speedup the batch path
+// delivers there. The records land in BENCH_pr10.json; EXPERIMENTS.md
+// reads the verdict off this file.
+
+// batchAlgorithms is the contest lineup: the partitioned headliners and
+// the shared table, whose stripe locks the batch path amortizes.
+var batchAlgorithms = []live.Algorithm{
+	live.TwoPhase, live.AdaptiveTwoPhase, live.Shared, live.AdaptiveShared,
+}
+
+// batchSizes sweeps the builder capacity the engine hands to the batch
+// entry points. 256 stresses per-batch overhead, 4096 the lock
+// amortization ceiling.
+var batchSizes = []int{256, 1024, 4096}
+
+const batchWorkers = 4
+
+// runBatchBench executes the sweep and writes the JSON file. The Impl
+// field distinguishes the paths: "batch" vs "scalar".
+func runBatchBench(out string) error {
+	var recs []benchRecord
+	for _, sel := range microSelectivities {
+		in, groups := benchInput(sel)
+		for _, bs := range batchSizes {
+			for _, alg := range batchAlgorithms {
+				for _, scalar := range []bool{true, false} {
+					impl := "batch"
+					if scalar {
+						impl = "scalar"
+					}
+					fmt.Fprintf(os.Stderr, "batchbench: sel=%g batch=%d alg=%v path=%s\n", sel, bs, alg, impl)
+					cfg := live.Config{Workers: batchWorkers, Batch: bs, ScalarPath: scalar}
+					res := testing.Benchmark(func(b *testing.B) {
+						b.ReportAllocs()
+						for i := 0; i < b.N; i++ {
+							r, err := live.Aggregate(cfg, in, alg)
+							if err != nil {
+								b.Fatal(err)
+							}
+							if len(r.Groups) != groups {
+								b.Fatalf("%v: got %d groups, want %d", alg, len(r.Groups), groups)
+							}
+						}
+					})
+					rec := record("batch-live", impl, alg.String(), sel, benchRows, groups, batchWorkers, res)
+					rec.Batch = bs
+					recs = append(recs, rec)
+				}
+			}
+		}
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "batchbench: wrote %d records to %s\n", len(recs), out)
+	return summarizeBatch(os.Stdout, recs)
+}
+
+// summarizeBatch prints each cell's batch-vs-scalar speedup — the
+// number the PR's acceptance criterion quotes.
+func summarizeBatch(w *os.File, recs []benchRecord) error {
+	type key struct {
+		sel   float64
+		batch int
+		alg   string
+	}
+	scalar := map[key]benchRecord{}
+	for _, r := range recs {
+		if r.Impl == "scalar" {
+			scalar[key{r.Selectivity, r.Batch, r.Algorithm}] = r
+		}
+	}
+	fmt.Fprintf(w, "%-6s %-6s %-9s %13s %13s %9s\n",
+		"sel", "batch", "alg", "batch r/s", "scalar r/s", "speedup")
+	for _, r := range recs {
+		if r.Impl != "batch" {
+			continue
+		}
+		s, ok := scalar[key{r.Selectivity, r.Batch, r.Algorithm}]
+		ratio := 0.0
+		if ok && s.RowsPerSec > 0 {
+			ratio = float64(r.RowsPerSec) / float64(s.RowsPerSec)
+		}
+		fmt.Fprintf(w, "%-6g %-6d %-9s %13d %13d %8.2fx\n",
+			r.Selectivity, r.Batch, r.Algorithm, r.RowsPerSec, s.RowsPerSec, ratio)
+	}
+	return nil
+}

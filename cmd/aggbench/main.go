@@ -33,6 +33,7 @@ func main() {
 		microOut   = flag.String("out", "BENCH_pr5.json", "microbenchmark JSON output file")
 		shared     = flag.Bool("sharedbench", false, "run the shared-vs-partitioned sweep (Shared/A-Shared vs 2P/Rep/A-2P) instead of the figures")
 		procs      = flag.String("procs", "2,4,8", "GOMAXPROCS legs of the -sharedbench sweep, comma-separated")
+		batch      = flag.Bool("batchbench", false, "run the batch-vs-scalar sweep (columnar fold path vs per-tuple baseline) instead of the figures")
 	)
 	flag.Parse()
 
@@ -49,6 +50,17 @@ func main() {
 			out = "BENCH_pr9.json"
 		}
 		if err := runSharedBench(out, *procs); err != nil {
+			fmt.Fprintf(os.Stderr, "aggbench: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if *batch {
+		out := *microOut
+		if out == "BENCH_pr5.json" {
+			out = "BENCH_pr10.json"
+		}
+		if err := runBatchBench(out); err != nil {
 			fmt.Fprintf(os.Stderr, "aggbench: %v\n", err)
 			os.Exit(2)
 		}

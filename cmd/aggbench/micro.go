@@ -29,6 +29,7 @@ type benchRecord struct {
 	Groups      int     `json:"groups"`
 	Workers     int     `json:"workers,omitempty"`
 	Procs       int     `json:"gomaxprocs,omitempty"` // GOMAXPROCS during the run (sharedbench sweep)
+	Batch       int     `json:"batch,omitempty"`      // scan batch size (batchbench sweep)
 	NsPerOp     int64   `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`

@@ -63,6 +63,11 @@ type Table struct {
 	used   int    // live entries
 	growAt int    // used threshold that triggers doubling
 	bound  int    // logical capacity (0 = unbounded)
+
+	// hashes is the batch fold's pre-hash scratch column (batch.go). It
+	// lives on the table so a long-lived table reaches 0 allocs/op: the
+	// first UpdateBatch sizes it, every later one reuses the capacity.
+	hashes []uint64
 }
 
 // New returns an empty table. A positive bound caps the number of group
@@ -131,7 +136,15 @@ func (t *Table) OccupancyPermille() int {
 // find probes for k. It returns the slot index and whether the slot holds
 // k (true) or is the empty slot where k would be inserted (false).
 func (t *Table) find(k tuple.Key) (int, bool) {
-	h := k.Hash()
+	return t.findH(k, k.Hash())
+}
+
+// findH is find with k's hash already in hand — the batch fold hashes a
+// whole column up front and probes with the result, so the hash chain
+// never sits on the probe's critical path.
+//
+//aggvet:noalloc
+func (t *Table) findH(k tuple.Key, h uint64) (int, bool) {
 	h2 := uint8(h >> 57) // top 7 bits; high bit clear, so never ctrlEmpty
 	i := h & t.mask
 	for {
@@ -149,11 +162,18 @@ func (t *Table) find(k tuple.Key) (int, bool) {
 // insertAt claims the empty slot i for k, growing (and re-probing) first
 // when the load limit is reached. It returns the slot holding k's state.
 func (t *Table) insertAt(i int, k tuple.Key) int {
+	return t.insertAtH(i, k, k.Hash())
+}
+
+// insertAtH is insertAt with k's hash already in hand.
+//
+//aggvet:noalloc
+func (t *Table) insertAtH(i int, k tuple.Key, h uint64) int {
 	if t.used >= t.growAt {
 		t.grow()
-		i, _ = t.find(k)
+		i, _ = t.findH(k, h)
 	}
-	t.ctrl[i] = uint8(k.Hash() >> 57)
+	t.ctrl[i] = uint8(h >> 57)
 	t.keys[i] = k
 	t.used++
 	return i

@@ -66,7 +66,8 @@ var Analyzer = &analysis.Analyzer{
 // package. tuple's entries carry their own //aggvet:noalloc in package
 // tuple, so the audit is enforced, not assumed.
 var KnownAllocFree = map[string][]string{
-	"internal/tuple":  {"Hash", "Bucket", "Update", "Merge", "NewState", "EncodeRaw", "EncodePartial", "DecodeRaw", "DecodePartial"},
+	"internal/tuple": {"Hash", "Bucket", "Update", "Merge", "NewState", "EncodeRaw", "EncodePartial", "DecodeRaw", "DecodePartial",
+		"Len", "Reset", "Append", "AppendRows", "At", "StateAt", "EncodeRawCol", "EncodePartialCol", "DecodeRawCol", "DecodePartialCol"},
 	"encoding/binary": {"PutUint16", "PutUint32", "PutUint64", "Uint16", "Uint32", "Uint64"},
 	"math/bits":       {"*"},
 	"sync/atomic":     {"*"},

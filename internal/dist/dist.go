@@ -88,6 +88,13 @@ type Config struct {
 	// Batch is the number of records per frame. Default 1024.
 	Batch int
 
+	// Columnar encodes this node's raw/partial data frames in the
+	// columnar layout (frameRawCol/framePartialCol): same records,
+	// column-major sections, one single-pass encode into the per-peer
+	// scratch buffer. Decoding always accepts both layouts, so mixed
+	// clusters interoperate; the flag only selects what this node emits.
+	Columnar bool
+
 	// InitSeg and SwitchRatio drive AdaptiveRepartitioning's fallback,
 	// with the same meaning as the simulator's options. Defaults: 4096
 	// and 0.1.
@@ -460,11 +467,11 @@ func RunNode(ln net.Listener, cfg Config, part []tuple.Tuple) (*NodeResult, erro
 				eos++
 			case frameEOP:
 				fallback.Store(true)
-			case frameRaw:
+			case frameRaw, frameRawCol:
 				for _, t := range in.f.raw {
 					absorb(tuple.Partial{Key: t.Key, State: tuple.NewState(t.Val)})
 				}
-			case framePartial:
+			case framePartial, framePartialCol:
 				for _, pt := range in.f.partials {
 					absorb(pt)
 				}
@@ -582,7 +589,7 @@ func dialPeers(cfg Config, tracker *connTracker, m *metrics) ([]*peer, error) {
 		if ok := tracker.add(conn); !ok {
 			return nil, nodeErr(cfg.ID, j, PhaseDial, net.ErrClosed)
 		}
-		p := &peer{id: j, conn: conn, w: bufio.NewWriterSize(conn, 1<<16), timeout: cfg.IOTimeout, m: m}
+		p := &peer{id: j, conn: conn, w: bufio.NewWriterSize(conn, 1<<16), timeout: cfg.IOTimeout, m: m, columnar: cfg.Columnar}
 		if err := p.writeHello(cfg.ID); err != nil {
 			return nil, nodeErr(cfg.ID, j, PhaseHello, err)
 		}

@@ -102,6 +102,10 @@ func kindName(kind frameKind) string {
 		return "raw"
 	case framePartial:
 		return "partial"
+	case frameRawCol:
+		return "rawcol"
+	case framePartialCol:
+		return "partialcol"
 	case frameEOS:
 		return "eos"
 	case frameEOP:
@@ -128,9 +132,9 @@ func frameBytes(kind frameKind, count int) int64 {
 	switch kind {
 	case frameHello:
 		return 4
-	case frameRaw:
+	case frameRaw, frameRawCol:
 		return 5 + int64(count)*tuple.RawSize
-	case framePartial:
+	case framePartial, framePartialCol:
 		return 5 + int64(count)*tuple.PartialSize
 	default:
 		return 5
@@ -161,9 +165,9 @@ func tFrameBytes(kind frameKind, count int) int64 {
 	switch kind {
 	case frameHello:
 		return 4
-	case frameRaw:
+	case frameRaw, frameRawCol:
 		return tHeaderSize + int64(count)*tuple.RawSize
-	case framePartial:
+	case framePartial, framePartialCol:
 		return tHeaderSize + int64(count)*tuple.PartialSize
 	default:
 		return tHeaderSize

@@ -126,7 +126,10 @@ type tpeer struct {
 	id      int
 	timeout time.Duration
 	m       *metrics
-	down    atomic.Bool
+	// columnar selects the columnar data-frame layout for writes
+	// (Config.Columnar); reads accept both layouts regardless.
+	columnar bool
+	down     atomic.Bool
 
 	mu sync.Mutex
 	//aggvet:guard mu
@@ -226,8 +229,14 @@ func (p *tpeer) writeRawT(origin, epoch int, ts []tuple.Tuple) error {
 	if p.down.Load() {
 		return errPeerDown
 	}
+	kind := frameRaw
 	var err error
-	p.buf, err = tRawFrameInto(p.buf, origin, epoch, ts)
+	if p.columnar {
+		kind = frameRawCol
+		p.buf, err = tRawColFrameInto(p.buf, origin, epoch, ts)
+	} else {
+		p.buf, err = tRawFrameInto(p.buf, origin, epoch, ts)
+	}
 	if err != nil {
 		return err
 	}
@@ -235,7 +244,7 @@ func (p *tpeer) writeRawT(origin, epoch int, ts []tuple.Tuple) error {
 	if _, err := p.w.Write(p.buf); err != nil {
 		return err
 	}
-	p.m.tsent(p.id, frameRaw, len(ts))
+	p.m.tsent(p.id, kind, len(ts))
 	return nil
 }
 
@@ -245,8 +254,14 @@ func (p *tpeer) writePartialsT(origin, epoch int, ps []tuple.Partial) error {
 	if p.down.Load() {
 		return errPeerDown
 	}
+	kind := framePartial
 	var err error
-	p.buf, err = tPartialFrameInto(p.buf, origin, epoch, ps)
+	if p.columnar {
+		kind = framePartialCol
+		p.buf, err = tPartialColFrameInto(p.buf, origin, epoch, ps)
+	} else {
+		p.buf, err = tPartialFrameInto(p.buf, origin, epoch, ps)
+	}
 	if err != nil {
 		return err
 	}
@@ -254,7 +269,7 @@ func (p *tpeer) writePartialsT(origin, epoch int, ps []tuple.Partial) error {
 	if _, err := p.w.Write(p.buf); err != nil {
 		return err
 	}
-	p.m.tsent(p.id, framePartial, len(ps))
+	p.m.tsent(p.id, kind, len(ps))
 	return nil
 }
 
@@ -367,7 +382,7 @@ func newTnode(ln net.Listener, cfg Config, part []tuple.Tuple) *tnode {
 	}
 	//aggvet:allow loopown -- construction: no goroutine exists yet; control() assumes ownership when it starts
 	for i := 0; i < n; i++ {
-		p := &tpeer{id: i, timeout: cfg.IOTimeout, m: nd.m}
+		p := &tpeer{id: i, timeout: cfg.IOTimeout, m: nd.m, columnar: cfg.Columnar}
 		p.down.Store(true) // up only once dialed
 		nd.peers[i] = p
 		nd.owner[i] = i
@@ -1081,13 +1096,13 @@ func (nd *tnode) onFrame(ev tevent) {
 		nd.finished = true
 	case frameEOP:
 		nd.fallback.Store(true)
-	case frameRaw:
+	case frameRaw, frameRawCol:
 		st := nd.stage(f.stream())
 		st.frames++
 		for _, t := range f.raw {
 			st.absorb(tuple.Partial{Key: t.Key, State: tuple.NewState(t.Val)})
 		}
-	case framePartial:
+	case framePartial, framePartialCol:
 		st := nd.stage(f.stream())
 		st.frames++
 		for _, pt := range f.partials {

@@ -176,6 +176,34 @@ func tPartialFrameInto(buf []byte, origin, epoch int, ps []tuple.Partial) ([]byt
 	return buf, nil
 }
 
+// tRawColFrameInto encodes a tagged columnar raw frame into buf in a
+// single pass, with the same record-count bound as the row encoder.
+//
+//aggvet:noalloc
+func tRawColFrameInto(buf []byte, origin, epoch int, ts []tuple.Tuple) ([]byte, error) {
+	if len(ts) > maxFrameRecords {
+		return buf, fmt.Errorf("dist: raw frame of %d records exceeds the %d-record wire limit", len(ts), maxFrameRecords) //aggvet:allow noalloc -- cold path: the oversized batch is refused, never encoded
+	}
+	buf = frameBuf(buf, tHeaderSize+len(ts)*tuple.RawSize)
+	putTHeader(buf, frameRawCol, origin, epoch, 0, len(ts))
+	tuple.EncodeRawCol(buf[tHeaderSize:], ts)
+	return buf, nil
+}
+
+// tPartialColFrameInto encodes a tagged columnar partial frame, same
+// contract.
+//
+//aggvet:noalloc
+func tPartialColFrameInto(buf []byte, origin, epoch int, ps []tuple.Partial) ([]byte, error) {
+	if len(ps) > maxFrameRecords {
+		return buf, fmt.Errorf("dist: partial frame of %d records exceeds the %d-record wire limit", len(ps), maxFrameRecords) //aggvet:allow noalloc -- cold path: the oversized batch is refused, never encoded
+	}
+	buf = frameBuf(buf, tHeaderSize+len(ps)*tuple.PartialSize)
+	putTHeader(buf, framePartialCol, origin, epoch, 0, len(ps))
+	tuple.EncodePartialCol(buf[tHeaderSize:], ps)
+	return buf, nil
+}
+
 // readTFrame decodes the next tolerant-mode frame with the same
 // hostile-input guards as v1: bounded counts, chunked allocation.
 func readTFrame(r *bufio.Reader) (tframe, error) {
@@ -218,6 +246,20 @@ func readTFrame(r *bufio.Reader) (tframe, error) {
 			}
 			f.partials = append(f.partials, tuple.DecodePartial(rec[:]))
 		}
+		return f, nil
+	case frameRawCol:
+		body, err := readColBody(r, count*tuple.RawSize)
+		if err != nil {
+			return tframe{}, err
+		}
+		f.raw = tuple.DecodeRawCol(make([]tuple.Tuple, 0, count), body, count)
+		return f, nil
+	case framePartialCol:
+		body, err := readColBody(r, count*tuple.PartialSize)
+		if err != nil {
+			return tframe{}, err
+		}
+		f.partials = tuple.DecodePartialCol(make([]tuple.Partial, 0, count), body, count)
 		return f, nil
 	default:
 		return tframe{}, fmt.Errorf("dist: unknown frame kind %d", f.kind)

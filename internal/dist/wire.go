@@ -35,6 +35,17 @@ const (
 	frameEOS     frameKind = 3
 	// frameEOP carries Adaptive Repartitioning's end-of-phase broadcast.
 	frameEOP frameKind = 4
+
+	// frameRawCol and framePartialCol are the columnar variants of the
+	// data frames: the same records and the same per-record widths, laid
+	// out column-major (all keys contiguous, then each value column; see
+	// tuple.EncodeRawCol/EncodePartialCol). Both dialects share them
+	// (kinds 5–10 are the tolerant dialect's control frames, twire.go).
+	// Encoding is opt-in per cluster (Config.Columnar); every decoder
+	// accepts both layouts unconditionally, so the flag can roll out one
+	// fleet at a time without a protocol epoch.
+	frameRawCol     frameKind = 11
+	framePartialCol frameKind = 12
 )
 
 // maxFrameRecords bounds a frame so a corrupt length cannot allocate
@@ -51,6 +62,32 @@ const maxFrameRecords = 1 << 20
 // few KiB, not tens of MiB, before the connection's read deadline or a
 // short read kills it.
 const allocChunk = 4096
+
+// colBodyCap caps the upfront body-buffer allocation while decoding a
+// columnar frame — the same forged-length defense as allocChunk, in
+// bytes: a columnar body cannot be decoded record-at-a-time (the value
+// columns trail all the keys), so the decoder buffers the body, growing
+// it only as bytes actually arrive in colReadChunk-sized reads.
+const (
+	colBodyCap   = 64 << 10
+	colReadChunk = 4096
+)
+
+// readColBody reads a columnar frame body of `need` bytes, growing the
+// buffer chunk-by-chunk so a forged count costs at most colBodyCap
+// before the short read or the connection's deadline kills it.
+func readColBody(r *bufio.Reader, need int) ([]byte, error) {
+	body := make([]byte, 0, min(need, colBodyCap))
+	var chunk [colReadChunk]byte
+	for len(body) < need {
+		n := min(need-len(body), colReadChunk)
+		if _, err := io.ReadFull(r, chunk[:n]); err != nil {
+			return nil, err
+		}
+		body = append(body, chunk[:n]...)
+	}
+	return body, nil
+}
 
 // writeHello sends the connection's source node id.
 func writeHello(w io.Writer, src int) error {
@@ -126,6 +163,37 @@ func partialFrameInto(buf []byte, ps []tuple.Partial) ([]byte, error) {
 	return buf, nil
 }
 
+// rawColFrameInto encodes a whole columnar raw frame (header + key
+// column + value column) into buf in a single pass, with the same
+// record-count bound as the row encoder.
+//
+//aggvet:noalloc
+func rawColFrameInto(buf []byte, ts []tuple.Tuple) ([]byte, error) {
+	if len(ts) > maxFrameRecords {
+		return buf, fmt.Errorf("dist: raw frame of %d records exceeds the %d-record wire limit", len(ts), maxFrameRecords) //aggvet:allow noalloc -- cold path: the oversized batch is refused, never encoded
+	}
+	buf = frameBuf(buf, 5+len(ts)*tuple.RawSize)
+	buf[0] = byte(frameRawCol)
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(ts)))
+	tuple.EncodeRawCol(buf[5:], ts)
+	return buf, nil
+}
+
+// partialColFrameInto encodes a whole columnar partial frame into buf
+// in a single pass, with the same contract as rawColFrameInto.
+//
+//aggvet:noalloc
+func partialColFrameInto(buf []byte, ps []tuple.Partial) ([]byte, error) {
+	if len(ps) > maxFrameRecords {
+		return buf, fmt.Errorf("dist: partial frame of %d records exceeds the %d-record wire limit", len(ps), maxFrameRecords) //aggvet:allow noalloc -- cold path: the oversized batch is refused, never encoded
+	}
+	buf = frameBuf(buf, 5+len(ps)*tuple.PartialSize)
+	buf[0] = byte(framePartialCol)
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(ps)))
+	tuple.EncodePartialCol(buf[5:], ps)
+	return buf, nil
+}
+
 // writeRawFrame sends a batch of raw tuples as one Write call.
 func writeRawFrame(w io.Writer, ts []tuple.Tuple) error {
 	buf, err := rawFrameInto(nil, ts)
@@ -174,6 +242,10 @@ type peer struct {
 	w       *bufio.Writer
 	timeout time.Duration
 	m       *metrics // nil when metrics are disabled
+	// columnar selects the columnar data-frame layout for this
+	// connection's writes (Config.Columnar); reads accept both layouts
+	// regardless.
+	columnar bool
 	// buf is the frame-encoding scratch buffer: each data frame is
 	// encoded here in full and handed to the writer as one Write, so the
 	// steady state is one buffer allocation per connection, not one
@@ -212,6 +284,12 @@ func (p *peer) writeHello(src int) error {
 func (p *peer) writeRaw(ts []tuple.Tuple) error {
 	p.arm()
 	var err error
+	if p.columnar {
+		if p.buf, err = rawColFrameInto(p.buf, ts); err == nil {
+			_, err = p.w.Write(p.buf)
+		}
+		return p.count(frameRawCol, len(ts), err)
+	}
 	if p.buf, err = rawFrameInto(p.buf, ts); err == nil {
 		_, err = p.w.Write(p.buf)
 	}
@@ -221,6 +299,12 @@ func (p *peer) writeRaw(ts []tuple.Tuple) error {
 func (p *peer) writePartials(ps []tuple.Partial) error {
 	p.arm()
 	var err error
+	if p.columnar {
+		if p.buf, err = partialColFrameInto(p.buf, ps); err == nil {
+			_, err = p.w.Write(p.buf)
+		}
+		return p.count(framePartialCol, len(ps), err)
+	}
 	if p.buf, err = partialFrameInto(p.buf, ps); err == nil {
 		_, err = p.w.Write(p.buf)
 	}
@@ -281,6 +365,22 @@ func readFrame(r *bufio.Reader) (frame, error) {
 			f.partials = append(f.partials, tuple.DecodePartial(rec[:]))
 		}
 		return f, nil
+	case frameRawCol:
+		// The whole body is buffered before decoding (the value column
+		// trails every key), chunk-grown so the forged-count exposure
+		// stays bounded; count*RawSize real bytes have arrived by the
+		// time the record slice is sized.
+		body, err := readColBody(r, count*tuple.RawSize)
+		if err != nil {
+			return frame{}, err
+		}
+		return frame{kind: kind, raw: tuple.DecodeRawCol(make([]tuple.Tuple, 0, count), body, count)}, nil
+	case framePartialCol:
+		body, err := readColBody(r, count*tuple.PartialSize)
+		if err != nil {
+			return frame{}, err
+		}
+		return frame{kind: kind, partials: tuple.DecodePartialCol(make([]tuple.Partial, 0, count), body, count)}, nil
 	default:
 		return frame{}, fmt.Errorf("dist: unknown frame kind %d", kind)
 	}

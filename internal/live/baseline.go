@@ -48,6 +48,27 @@ func (t *mapTable) MergePartial(p tuple.Partial) bool {
 	return true
 }
 
+// UpdateBatch is the batch entry point, implemented as the scalar loop:
+// the baseline stays a baseline. Refusal contract as aggtable's.
+func (t *mapTable) UpdateBatch(b *tuple.Batch, refused []int) []int {
+	for i := range b.Keys {
+		if !t.UpdateRaw(b.At(i)) {
+			refused = append(refused, i)
+		}
+	}
+	return refused
+}
+
+// MergeBatch is the batch merge entry point, as the scalar loop.
+func (t *mapTable) MergeBatch(pb *tuple.PartialBatch, refused []int) []int {
+	for i := 0; i < pb.Len(); i++ {
+		if !t.MergePartial(pb.At(i)) {
+			refused = append(refused, i)
+		}
+	}
+	return refused
+}
+
 func (t *mapTable) Drain() []tuple.Partial {
 	out := make([]tuple.Partial, 0, len(t.m))
 	for k, s := range t.m {

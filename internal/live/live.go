@@ -137,6 +137,14 @@ type Config struct {
 	SpillToDisk bool
 	SpillDir    string
 
+	// ScalarPath runs the per-tuple data plane the engine used before the
+	// columnar batch path existed: tuple-at-a-time folds, row-major
+	// exchange batches, one stripe-lock acquisition per shared fold. It
+	// exists as a benchmark baseline (BENCH_pr10) and a differential-
+	// testing oracle; the default batch path is strictly faster. Results
+	// are identical either way.
+	ScalarPath bool
+
 	// BaselineMapTables runs every worker table on the builtin-map
 	// implementation the engine used before internal/aggtable existed.
 	// It exists only as a benchmark baseline (BENCH_pr5) and a
@@ -196,6 +204,8 @@ type Result struct {
 type groupTable interface {
 	UpdateRaw(tuple.Tuple) bool
 	MergePartial(tuple.Partial) bool
+	UpdateBatch(*tuple.Batch, []int) []int
+	MergeBatch(*tuple.PartialBatch, []int) []int
 	Len() int
 	Drain() []tuple.Partial
 	OccupancyPermille() int
@@ -209,18 +219,24 @@ func (c Config) tableFactory() func(bound int) groupTable {
 	return func(bound int) groupTable { return aggtable.New(bound) }
 }
 
-// rawBatch and partBatch are pooled exchange buffers. The holder structs
-// travel through the channels by pointer so the merge side can hand the
-// same allocation back to the pool after folding it.
+// rawBatch and partBatch are pooled row-major exchange buffers (the
+// scalar path); colRawBatch and colPartBatch their columnar twins (the
+// batch path). The holder structs travel through the channels by pointer
+// so the merge side can hand the same allocation back to the pool after
+// folding it.
 type rawBatch struct{ ts []tuple.Tuple }
 type partBatch struct{ ps []tuple.Partial }
+type colRawBatch struct{ b tuple.Batch }
+type colPartBatch struct{ pb tuple.PartialBatch }
 
 // exchangePools recycles exchange batches for one run. Pools are per-run,
 // not global, so every pooled buffer has exactly cfg.Batch capacity and
 // the allocations die with the run.
 type exchangePools struct {
-	raw  sync.Pool
-	part sync.Pool
+	raw     sync.Pool
+	part    sync.Pool
+	colRaw  sync.Pool
+	colPart sync.Pool
 }
 
 func newExchangePools(batch int) *exchangePools {
@@ -230,6 +246,22 @@ func newExchangePools(batch int) *exchangePools {
 		}},
 		part: sync.Pool{New: func() any {
 			return &partBatch{ps: make([]tuple.Partial, 0, batch)}
+		}},
+		colRaw: sync.Pool{New: func() any {
+			return &colRawBatch{b: tuple.Batch{
+				Keys: make([]tuple.Key, 0, batch),
+				Vals: make([]int64, 0, batch),
+			}}
+		}},
+		colPart: sync.Pool{New: func() any {
+			return &colPartBatch{pb: tuple.PartialBatch{
+				Keys:   make([]tuple.Key, 0, batch),
+				Counts: make([]int64, 0, batch),
+				Sums:   make([]int64, 0, batch),
+				SumSqs: make([]int64, 0, batch),
+				Mins:   make([]int64, 0, batch),
+				Maxs:   make([]int64, 0, batch),
+			}}
 		}},
 	}
 }
@@ -246,13 +278,27 @@ func (p *exchangePools) getPart() *partBatch {
 	return b
 }
 
-// message is one exchange batch between workers. At most one of raw/part
-// is non-nil; the receiver owns the batch and must return it to the pool
-// once folded.
+func (p *exchangePools) getColRaw() *colRawBatch {
+	b := p.colRaw.Get().(*colRawBatch)
+	b.b.Reset()
+	return b
+}
+
+func (p *exchangePools) getColPart() *colPartBatch {
+	b := p.colPart.Get().(*colPartBatch)
+	b.pb.Reset()
+	return b
+}
+
+// message is one exchange batch between workers. At most one of
+// raw/part/craw/cpart is non-nil; the receiver owns the batch and must
+// return it to the pool once folded.
 type message struct {
-	src  int // sending worker, for merge fan-in accounting
-	raw  *rawBatch
-	part *partBatch
+	src   int // sending worker, for merge fan-in accounting
+	raw   *rawBatch
+	part  *partBatch
+	craw  *colRawBatch
+	cpart *colPartBatch
 }
 
 // Aggregate runs alg over the tuples with cfg.Workers parallel workers and
@@ -453,6 +499,22 @@ type worker struct {
 	outRaw []*rawBatch
 	//aggvet:owner scan
 	outPart []*partBatch
+	//aggvet:owner scan
+	outRawC []*colRawBatch
+	//aggvet:owner scan
+	outPartC []*colPartBatch
+
+	// Batch-path scan scratch: the columnar staging batch the scan side
+	// folds chunks through, the reusable refusal index list, and the
+	// shared table's partition scratch. All reach 0 allocs/op after the
+	// first chunk.
+	//
+	//aggvet:owner scan
+	scanB tuple.Batch
+	//aggvet:owner scan
+	refused []int
+	//aggvet:owner scan
+	sc aggtable.BatchScratch
 }
 
 type workerMode int
@@ -464,7 +526,10 @@ const (
 )
 
 // noteOcc records the table's high-water occupancy for the obs layer.
-func (wk *worker) noteOcc(tab groupTable) {
+// It takes just the occupancy hook so the Shared table (whose batch
+// entry points need caller-owned scratch) qualifies alongside
+// groupTable implementations.
+func (wk *worker) noteOcc(tab interface{ OccupancyPermille() int }) {
 	if occ := int64(tab.OccupancyPermille()); occ > wk.m.TableOcc {
 		wk.m.TableOcc = occ
 	}
@@ -479,6 +544,11 @@ func (wk *worker) scanSide(part []tuple.Tuple) (switchedOut bool, err error) {
 	w := wk.cfg.Workers
 	wk.outRaw = make([]*rawBatch, w)
 	wk.outPart = make([]*partBatch, w)
+	wk.outRawC = make([]*colRawBatch, w)
+	wk.outPartC = make([]*colPartBatch, w)
+	if !wk.cfg.ScalarPath {
+		return wk.scanSideBatch(part)
+	}
 
 	bound := wk.cfg.TableEntries
 	local := wk.newTable(bound)
@@ -666,6 +736,7 @@ func (wk *worker) mergeSide(inbox <-chan message) []tuple.Partial {
 	bound := wk.cfg.TableEntries
 	global := wk.newTable(bound)
 	var overflow []tuple.Partial
+	var refused []int // merge-goroutine-local batch refusal scratch
 	srcs := make([]bool, wk.cfg.Workers)
 	for m := range inbox {
 		srcs[m.src] = true
@@ -684,6 +755,20 @@ func (wk *worker) mergeSide(inbox <-chan message) []tuple.Partial {
 				}
 			}
 			wk.pools.part.Put(m.part)
+		}
+		if m.craw != nil {
+			refused = global.UpdateBatch(&m.craw.b, refused[:0])
+			for _, ix := range refused {
+				overflow = append(overflow, tuple.Partial{Key: m.craw.b.Keys[ix], State: tuple.NewState(m.craw.b.Vals[ix])})
+			}
+			wk.pools.colRaw.Put(m.craw)
+		}
+		if m.cpart != nil {
+			refused = global.MergeBatch(&m.cpart.pb, refused[:0])
+			for _, ix := range refused {
+				overflow = append(overflow, m.cpart.pb.At(ix))
+			}
+			wk.pools.colPart.Put(m.cpart)
 		}
 	}
 	for _, fed := range srcs {
@@ -760,6 +845,22 @@ func (wk *worker) flushAll() {
 				wk.pools.part.Put(b)
 			}
 			wk.outPart[d] = nil
+		}
+		if b := wk.outRawC[d]; b != nil {
+			if b.b.Len() > 0 {
+				wk.inboxes[d] <- message{src: wk.id, craw: b}
+			} else {
+				wk.pools.colRaw.Put(b)
+			}
+			wk.outRawC[d] = nil
+		}
+		if b := wk.outPartC[d]; b != nil {
+			if b.pb.Len() > 0 {
+				wk.inboxes[d] <- message{src: wk.id, cpart: b}
+			} else {
+				wk.pools.colPart.Put(b)
+			}
+			wk.outPartC[d] = nil
 		}
 	}
 }

@@ -73,8 +73,8 @@ fi
 # lint, not just review. The noalloc analyzer above already verified
 # the annotated bodies; this step verifies the annotations exist.
 if ! "$AGGVET" -require-noalloc \
-    internal/aggtable:Table.UpdateRaw,Table.MergePartial,Shared.UpdateRaw,Shared.UpdateRawContended,Shared.MergePartial \
-    internal/dist:rawFrameInto,partialFrameInto,tRawFrameInto,tPartialFrameInto; then
+    internal/aggtable:Table.UpdateRaw,Table.MergePartial,Table.UpdateBatch,Table.MergeBatch,Shared.UpdateRaw,Shared.UpdateRawContended,Shared.MergePartial,Shared.UpdateBatch,Shared.UpdateBatchContended,Shared.MergeBatch \
+    internal/dist:rawFrameInto,partialFrameInto,tRawFrameInto,tPartialFrameInto,rawColFrameInto,partialColFrameInto,tRawColFrameInto,tPartialColFrameInto; then
     echo "lint: -require-noalloc gate failed — a pinned hot-path function lost its //aggvet:noalloc annotation" >&2
     exit 1
 fi
